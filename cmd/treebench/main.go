@@ -1,0 +1,62 @@
+// Command treebench regenerates the paper's evaluation: the §5.1 plan
+// validation, Fig. 4, Table 1 (QE1–QE6), Fig. 6, and the §5.3 positional
+// chains, printing the same rows and series the paper reports.
+//
+// Usage:
+//
+//	treebench -exp all            # every experiment at paper scale
+//	treebench -exp table1 -quick  # one experiment at reduced scale
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"xqtp"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, all")
+		quick   = flag.Bool("quick", false, "reduced document sizes for a fast run")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		repeats = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
+	)
+	flag.Parse()
+
+	opts := xqtp.DefaultExperimentOptions()
+	if *quick {
+		opts = xqtp.QuickExperimentOptions()
+	}
+	opts.Seed = *seed
+	opts.Repeats = *repeats
+
+	w := bufio.NewWriter(os.Stdout)
+	defer w.Flush()
+
+	var err error
+	switch *exp {
+	case "validate":
+		err = xqtp.RunValidation(w)
+	case "fig4":
+		err = xqtp.RunFigure4(w, opts)
+	case "table1":
+		err = xqtp.RunTable1(w, opts)
+	case "fig6":
+		err = xqtp.RunFigure6(w, opts)
+	case "sec53":
+		err = xqtp.RunSection53(w, opts)
+	case "all":
+		err = xqtp.RunAll(w, opts)
+	default:
+		fmt.Fprintf(os.Stderr, "treebench: unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+	if err != nil {
+		w.Flush()
+		fmt.Fprintln(os.Stderr, "treebench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,83 @@
+// Command xq evaluates an XQuery expression against an XML document using
+// the tree-pattern compilation pipeline.
+//
+// Usage:
+//
+//	xq -query '$d//person[emailaddress]/name' -file doc.xml [-alg nl|sc|twig] [-serialize]
+//	echo '<a><b/></a>' | xq -query '$d/a/b'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xqtp"
+	"xqtp/internal/join"
+)
+
+func main() {
+	var (
+		query     = flag.String("query", "", "XQuery expression (required)")
+		file      = flag.String("file", "", "XML input file (default: stdin)")
+		algName   = flag.String("alg", "sc", "tree-pattern algorithm: nl, sc, twig, auto")
+		snapshot  = flag.Bool("snapshot", false, "input is a binary snapshot (see xmlgen -format snapshot)")
+		serialize = flag.Bool("serialize", false, "serialize node results as XML")
+		noTP      = flag.Bool("no-tree-patterns", false, "disable tree-pattern detection (standard engine)")
+	)
+	flag.Parse()
+	if *query == "" {
+		fmt.Fprintln(os.Stderr, "xq: -query is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	alg, err := join.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
+
+	load := xqtp.LoadXML
+	if *snapshot {
+		load = xqtp.LoadSnapshot
+	}
+	var doc *xqtp.Document
+	if *file != "" {
+		f, err := os.Open(*file)
+		if err != nil {
+			fatal(err)
+		}
+		doc, err = load(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		doc, err = load(os.Stdin)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	opts := xqtp.DefaultOptions
+	opts.TreePatterns = !*noTP
+	q, err := xqtp.PrepareWithOptions(*query, opts)
+	if err != nil {
+		fatal(err)
+	}
+	items, err := q.Run(doc, alg)
+	if err != nil {
+		fatal(err)
+	}
+	for _, it := range items {
+		if *serialize {
+			fmt.Println(xqtp.SerializeItem(it))
+		} else {
+			fmt.Println(xqtp.ItemString(it))
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xq:", err)
+	os.Exit(1)
+}

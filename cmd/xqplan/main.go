@@ -1,0 +1,42 @@
+// Command xqplan shows every phase of the tree-pattern compilation pipeline
+// (Fig. 2 of the paper) for a query: the parsed surface syntax, the
+// normalized XQuery Core, the TPNF' rewritten core, the compiled algebraic
+// plan, and the optimized plan with detected TupleTreePattern operators.
+//
+// Usage:
+//
+//	xqplan '$d//person[emailaddress]/name'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xqtp"
+)
+
+func main() {
+	trace := flag.Bool("trace", false, "show every intermediate rewriting step")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xqplan [-trace] <query>")
+		os.Exit(2)
+	}
+	if *trace {
+		_, tr, err := xqtp.PrepareTraced(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqplan:", err)
+			os.Exit(1)
+		}
+		fmt.Println(tr)
+		return
+	}
+	q, err := xqtp.Prepare(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqplan:", err)
+		os.Exit(1)
+	}
+	fmt.Println(q.Explain())
+	fmt.Printf("\nTupleTreePattern operators: %d\n", q.TreePatterns())
+}

@@ -1,0 +1,3 @@
+module xqtp
+
+go 1.22

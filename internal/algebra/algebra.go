@@ -1,0 +1,309 @@
+// Package algebra defines the tuple algebra for XQuery (after Re, Siméon
+// and Fernández, ICDE 2006) extended with the paper's TupleTreePattern
+// operator. Plans are expression trees mixing item-level expressions
+// (TreeJoin, calls, comparisons) with tuple-level operators (MapFromItem,
+// MapToItem, Select, MapIndex, TupleTreePattern); dependent sub-expressions
+// reference the per-tuple context as IN#field and the per-item context as
+// IN, exactly as in the paper's plans P1–P5.
+package algebra
+
+import (
+	"xqtp/internal/pattern"
+	"xqtp/internal/xdm"
+)
+
+// Expr is a node of an algebraic plan.
+type Expr interface {
+	isAlg()
+}
+
+// In is the per-item dependent context "IN" (bound by MapFromItem).
+type In struct{}
+
+// Field is the per-tuple dependent field access "IN#name".
+type Field struct {
+	Name string
+}
+
+// VarRef is a free variable supplied by the engine environment (e.g. $d).
+type VarRef struct {
+	Name string
+}
+
+// Const is a literal item.
+type Const struct {
+	Item xdm.Item
+}
+
+// EmptySeq is the empty sequence.
+type EmptySeq struct{}
+
+// TreeJoin is the navigational axis-step operator over items.
+type TreeJoin struct {
+	Axis  xdm.Axis
+	Test  xdm.NodeTest
+	Input Expr
+}
+
+// Call invokes a builtin function ("ddo", "count", "boolean", "not",
+// "empty", "exists", "root", "true", "false") on item sequences.
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// Compare is a general comparison over item sequences.
+type Compare struct {
+	Op   xdm.CompareOp
+	L, R Expr
+}
+
+// Sequence is sequence concatenation.
+type Sequence struct {
+	Items []Expr
+}
+
+// Arith is binary arithmetic.
+type Arith struct {
+	Op   xdm.ArithOp
+	L, R Expr
+}
+
+// And is conjunction of effective boolean values.
+type And struct {
+	L, R Expr
+}
+
+// Or is disjunction of effective boolean values.
+type Or struct {
+	L, R Expr
+}
+
+// If is the conditional over an effective boolean value.
+type If struct {
+	Cond, Then, Else Expr
+}
+
+// LetBind binds the value of an expression to a field name visible in Body
+// (compilation target for residual core lets; sequences, not per-item).
+type LetBind struct {
+	Name  string
+	Value Expr
+	Body  Expr
+}
+
+// TypeSwitch is the runtime type dispatch (residual typeswitch whose input
+// type could not be determined statically).
+type TypeSwitch struct {
+	Input   Expr
+	Cases   []TSCase
+	DefVar  string
+	Default Expr
+}
+
+// TSCase is one typeswitch case.
+type TSCase struct {
+	Type string // "numeric" is the only type normalization emits
+	Var  string
+	Body Expr
+}
+
+// MapFromItem constructs one tuple [Bind: item] per item of the input
+// sequence (the paper's MapFromItem{[f : IN]}(Op)).
+type MapFromItem struct {
+	Bind  string
+	Input Expr
+}
+
+// MapToItem evaluates the dependent item expression once per input tuple
+// and concatenates the results (the paper's MapToItem{E}(Op)).
+type MapToItem struct {
+	Dep   Expr
+	Input Expr
+}
+
+// Select filters the input tuples by the effective boolean value of the
+// dependent predicate.
+type Select struct {
+	Pred  Expr
+	Input Expr
+}
+
+// MapIndex extends each input tuple with a 1-based position field (the
+// compilation of "for … at $i").
+type MapIndex struct {
+	Field string
+	Input Expr
+}
+
+// Head passes through the first input tuple only (the physical form of a
+// position()=1 selection; gives nested-loop evaluation its cursor-style
+// early exit, §5.3).
+type Head struct {
+	Input Expr
+}
+
+// TupleTreePattern evaluates a tree pattern against the context nodes in
+// the pattern's input field of each input tuple, returning one output tuple
+// per match binding (a dependent join). Output tuples extend the input
+// tuple with the pattern's annotated output fields; bindings are emitted in
+// root-to-leaf lexical document order with duplicate bindings removed, so
+// that when the only output field is the extraction point the operator's
+// result coincides with XPath semantics (paper §4.1).
+type TupleTreePattern struct {
+	Pattern *pattern.Pattern
+	Input   Expr
+}
+
+func (*In) isAlg()               {}
+func (*Field) isAlg()            {}
+func (*VarRef) isAlg()           {}
+func (*Const) isAlg()            {}
+func (*EmptySeq) isAlg()         {}
+func (*TreeJoin) isAlg()         {}
+func (*Call) isAlg()             {}
+func (*Compare) isAlg()          {}
+func (*Sequence) isAlg()         {}
+func (*Arith) isAlg()            {}
+func (*And) isAlg()              {}
+func (*Or) isAlg()               {}
+func (*If) isAlg()               {}
+func (*LetBind) isAlg()          {}
+func (*TypeSwitch) isAlg()       {}
+func (*MapFromItem) isAlg()      {}
+func (*MapToItem) isAlg()        {}
+func (*Select) isAlg()           {}
+func (*MapIndex) isAlg()         {}
+func (*Head) isAlg()             {}
+func (*TupleTreePattern) isAlg() {}
+
+// Children returns the direct sub-expressions of e.
+func Children(e Expr) []Expr {
+	switch x := e.(type) {
+	case *TreeJoin:
+		return []Expr{x.Input}
+	case *Call:
+		return x.Args
+	case *Compare:
+		return []Expr{x.L, x.R}
+	case *Sequence:
+		return x.Items
+	case *Arith:
+		return []Expr{x.L, x.R}
+	case *And:
+		return []Expr{x.L, x.R}
+	case *Or:
+		return []Expr{x.L, x.R}
+	case *If:
+		return []Expr{x.Cond, x.Then, x.Else}
+	case *LetBind:
+		return []Expr{x.Value, x.Body}
+	case *TypeSwitch:
+		out := []Expr{x.Input}
+		for _, c := range x.Cases {
+			out = append(out, c.Body)
+		}
+		return append(out, x.Default)
+	case *MapFromItem:
+		return []Expr{x.Input}
+	case *MapToItem:
+		return []Expr{x.Dep, x.Input}
+	case *Select:
+		return []Expr{x.Pred, x.Input}
+	case *MapIndex:
+		return []Expr{x.Input}
+	case *Head:
+		return []Expr{x.Input}
+	case *TupleTreePattern:
+		return []Expr{x.Input}
+	}
+	return nil
+}
+
+// CountOperators returns the number of nodes in the plan, by operator kind
+// name (used by the validation experiments to assert plan shapes).
+func CountOperators(e Expr) map[string]int {
+	counts := map[string]int{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		counts[OpName(e)]++
+		for _, c := range Children(e) {
+			walk(c)
+		}
+	}
+	walk(e)
+	return counts
+}
+
+// OpName returns the display name of an operator.
+func OpName(e Expr) string {
+	switch x := e.(type) {
+	case *In:
+		return "IN"
+	case *Field:
+		return "Field"
+	case *VarRef:
+		return "Var"
+	case *Const:
+		return "Const"
+	case *EmptySeq:
+		return "Empty"
+	case *TreeJoin:
+		return "TreeJoin"
+	case *Call:
+		return "fn:" + x.Name
+	case *Compare:
+		return "Compare"
+	case *Sequence:
+		return "Sequence"
+	case *Arith:
+		return "Arith"
+	case *And:
+		return "And"
+	case *Or:
+		return "Or"
+	case *If:
+		return "If"
+	case *LetBind:
+		return "LetBind"
+	case *TypeSwitch:
+		return "TypeSwitch"
+	case *MapFromItem:
+		return "MapFromItem"
+	case *MapToItem:
+		return "MapToItem"
+	case *Select:
+		return "Select"
+	case *MapIndex:
+		return "MapIndex"
+	case *Head:
+		return "Head"
+	case *TupleTreePattern:
+		return "TupleTreePattern"
+	}
+	return "?"
+}
+
+// FieldUses counts the references to field name in the plan (Field nodes
+// plus pattern input fields).
+func FieldUses(e Expr, name string) int {
+	n := 0
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *Field:
+			if x.Name == name {
+				n++
+			}
+		case *TupleTreePattern:
+			if x.Pattern.Input == name {
+				n++
+			}
+		}
+		for _, c := range Children(e) {
+			walk(c)
+		}
+	}
+	walk(e)
+	return n
+}

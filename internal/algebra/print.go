@@ -1,0 +1,190 @@
+package algebra
+
+import (
+	"fmt"
+	"strings"
+
+	"xqtp/internal/xdm"
+)
+
+// String renders a plan in the paper's functional notation on one line:
+// operators with dependent sub-plans in curly braces and inputs in
+// parentheses, e.g.
+//
+//	MapToItem{IN#out}(TupleTreePattern[IN#dot/child::name{out}](…))
+func String(e Expr) string {
+	var b strings.Builder
+	write(&b, e)
+	return b.String()
+}
+
+// Pretty renders a plan with one operator per line, indented by depth.
+func Pretty(e Expr) string {
+	var b strings.Builder
+	pretty(&b, e, 0)
+	return b.String()
+}
+
+func write(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *In:
+		b.WriteString("IN")
+	case *Field:
+		b.WriteString("IN#" + x.Name)
+	case *VarRef:
+		b.WriteString("$" + x.Name)
+	case *Const:
+		switch v := x.Item.(type) {
+		case xdm.String:
+			fmt.Fprintf(b, "%q", string(v))
+		default:
+			b.WriteString(xdm.ItemString(x.Item))
+		}
+	case *EmptySeq:
+		b.WriteString("()")
+	case *TreeJoin:
+		fmt.Fprintf(b, "TreeJoin[%s::%s](", x.Axis, x.Test)
+		write(b, x.Input)
+		b.WriteString(")")
+	case *Call:
+		name := x.Name
+		if name == "ddo" {
+			name = "fs:ddo"
+		} else {
+			name = "fn:" + name
+		}
+		b.WriteString(name + "(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			write(b, a)
+		}
+		b.WriteString(")")
+	case *Compare:
+		write(b, x.L)
+		fmt.Fprintf(b, " %s ", x.Op)
+		write(b, x.R)
+	case *Sequence:
+		b.WriteString("Seq(")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			write(b, it)
+		}
+		b.WriteString(")")
+	case *Arith:
+		b.WriteString("(")
+		write(b, x.L)
+		fmt.Fprintf(b, " %s ", x.Op)
+		write(b, x.R)
+		b.WriteString(")")
+	case *And:
+		b.WriteString("(")
+		write(b, x.L)
+		b.WriteString(" and ")
+		write(b, x.R)
+		b.WriteString(")")
+	case *Or:
+		b.WriteString("(")
+		write(b, x.L)
+		b.WriteString(" or ")
+		write(b, x.R)
+		b.WriteString(")")
+	case *If:
+		b.WriteString("If{")
+		write(b, x.Cond)
+		b.WriteString("}(")
+		write(b, x.Then)
+		b.WriteString(", ")
+		write(b, x.Else)
+		b.WriteString(")")
+	case *LetBind:
+		fmt.Fprintf(b, "Let[%s := ", x.Name)
+		write(b, x.Value)
+		b.WriteString("](")
+		write(b, x.Body)
+		b.WriteString(")")
+	case *TypeSwitch:
+		b.WriteString("TypeSwitch{")
+		write(b, x.Input)
+		b.WriteString("}(")
+		for _, c := range x.Cases {
+			fmt.Fprintf(b, "case %s %s: ", c.Type, c.Var)
+			write(b, c.Body)
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(b, "default %s: ", x.DefVar)
+		write(b, x.Default)
+		b.WriteString(")")
+	case *MapFromItem:
+		fmt.Fprintf(b, "MapFromItem{[%s : IN]}(", x.Bind)
+		write(b, x.Input)
+		b.WriteString(")")
+	case *MapToItem:
+		b.WriteString("MapToItem{")
+		write(b, x.Dep)
+		b.WriteString("}(")
+		write(b, x.Input)
+		b.WriteString(")")
+	case *Select:
+		b.WriteString("Select{")
+		write(b, x.Pred)
+		b.WriteString("}(")
+		write(b, x.Input)
+		b.WriteString(")")
+	case *MapIndex:
+		fmt.Fprintf(b, "MapIndex[%s](", x.Field)
+		write(b, x.Input)
+		b.WriteString(")")
+	case *Head:
+		b.WriteString("Head(")
+		write(b, x.Input)
+		b.WriteString(")")
+	case *TupleTreePattern:
+		fmt.Fprintf(b, "TupleTreePattern[%s](", x.Pattern)
+		write(b, x.Input)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "?%T?", e)
+	}
+}
+
+func pretty(b *strings.Builder, e Expr, depth int) {
+	pad := strings.Repeat("  ", depth)
+	switch x := e.(type) {
+	case *MapFromItem:
+		fmt.Fprintf(b, "%sMapFromItem{[%s : IN]}\n", pad, x.Bind)
+		pretty(b, x.Input, depth+1)
+	case *MapToItem:
+		fmt.Fprintf(b, "%sMapToItem{%s}\n", pad, String(x.Dep))
+		pretty(b, x.Input, depth+1)
+	case *Select:
+		fmt.Fprintf(b, "%sSelect{%s}\n", pad, String(x.Pred))
+		pretty(b, x.Input, depth+1)
+	case *MapIndex:
+		fmt.Fprintf(b, "%sMapIndex[%s]\n", pad, x.Field)
+		pretty(b, x.Input, depth+1)
+	case *Head:
+		fmt.Fprintf(b, "%sHead\n", pad)
+		pretty(b, x.Input, depth+1)
+	case *TupleTreePattern:
+		fmt.Fprintf(b, "%sTupleTreePattern[%s]\n", pad, x.Pattern)
+		pretty(b, x.Input, depth+1)
+	case *Call:
+		if x.Name == "ddo" && len(x.Args) == 1 {
+			fmt.Fprintf(b, "%sfs:ddo\n", pad)
+			pretty(b, x.Args[0], depth+1)
+			return
+		}
+		fmt.Fprintf(b, "%s%s\n", pad, String(e))
+	default:
+		fmt.Fprintf(b, "%s%s\n", pad, String(e))
+	}
+}
+
+// Equal compares two plans structurally.
+func Equal(a, b Expr) bool {
+	return String(a) == String(b)
+}

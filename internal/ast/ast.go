@@ -1,0 +1,171 @@
+// Package ast defines the surface syntax tree for the XQuery subset the
+// compiler accepts: path expressions with predicates, FLWOR expressions,
+// general comparisons, boolean connectives, literals and function calls.
+// This is the fragment the paper's queries (Q1a–Q5, QE1–QE6, the FLWOR
+// variants of §5.1 and the positional chains of §5.3) are written in.
+package ast
+
+import (
+	"xqtp/internal/xdm"
+)
+
+// Expr is a surface-syntax expression.
+type Expr interface {
+	isExpr()
+}
+
+// VarRef is a variable reference $name.
+type VarRef struct {
+	Name string
+}
+
+// StringLit is a string literal.
+type StringLit struct {
+	Value string
+}
+
+// NumberLit is a numeric literal. Integers keep IsInt = true so positional
+// predicates ([1]) can be recognized.
+type NumberLit struct {
+	Value float64
+	IsInt bool
+}
+
+// ContextItem is the context item expression ".".
+type ContextItem struct{}
+
+// Root is the leading "/" of an absolute path: the root (document node) of
+// the tree containing the context item.
+type Root struct{}
+
+// EmptySeq is the empty sequence "()".
+type EmptySeq struct{}
+
+// Step is an axis step with optional predicates: axis::test[p1][p2]...
+type Step struct {
+	Axis  xdm.Axis
+	Test  xdm.NodeTest
+	Preds []Expr
+}
+
+// Path is the binary path composition E1/E2 (E2 evaluated with each item of
+// E1 as context, results combined with distinct-document-order semantics).
+// "//" is desugared by the parser and never appears here.
+type Path struct {
+	Left, Right Expr
+}
+
+// Filter applies predicates to a primary expression: E[p1][p2]...
+type Filter struct {
+	Primary Expr
+	Preds   []Expr
+}
+
+// Compare is a general comparison.
+type Compare struct {
+	Op   xdm.CompareOp
+	L, R Expr
+}
+
+// And is the boolean conjunction.
+type And struct {
+	L, R Expr
+}
+
+// Or is the boolean disjunction.
+type Or struct {
+	L, R Expr
+}
+
+// Call is a function call; Name is the local name with any fn:/fs: prefix
+// stripped ("count", "boolean", "not", "position", "last", "root", "ddo",
+// "empty", "exists", "true", "false").
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+// ClauseKind distinguishes FLWOR clauses.
+type ClauseKind uint8
+
+// FLWOR clause kinds.
+const (
+	ForClause ClauseKind = iota
+	LetClause
+)
+
+// Clause is one for/let binding of a FLWOR expression.
+type Clause struct {
+	Kind ClauseKind
+	Var  string
+	At   string // positional variable of "for $x at $i", empty if absent
+	Expr Expr
+}
+
+// FLWOR is a FLWOR expression: one or more for/let clauses, an optional
+// where condition, and the return expression.
+type FLWOR struct {
+	Clauses []Clause
+	Where   Expr // nil if absent
+	Return  Expr
+}
+
+// SeqExpr is a sequence construction (E1, E2, …).
+type SeqExpr struct {
+	Items []Expr
+}
+
+// Arith is a binary arithmetic expression.
+type Arith struct {
+	Op   xdm.ArithOp
+	L, R Expr
+}
+
+// Neg is unary minus.
+type Neg struct {
+	X Expr
+}
+
+// IfExpr is the conditional expression if (C) then E1 else E2.
+type IfExpr struct {
+	Cond, Then, Else Expr
+}
+
+// Union is the node-set union E1 | E2 (distinct document order).
+type Union struct {
+	L, R Expr
+}
+
+// QBinding is one variable binding of a quantified expression.
+type QBinding struct {
+	Var string
+	In  Expr
+}
+
+// Quantified is some/every $x in E (, …) satisfies C.
+type Quantified struct {
+	Every     bool
+	Bindings  []QBinding
+	Satisfies Expr
+}
+
+func (*VarRef) isExpr()      {}
+func (*StringLit) isExpr()   {}
+func (*NumberLit) isExpr()   {}
+func (*ContextItem) isExpr() {}
+func (*Root) isExpr()        {}
+func (*EmptySeq) isExpr()    {}
+func (*Step) isExpr()        {}
+func (*Path) isExpr()        {}
+func (*Filter) isExpr()      {}
+func (*Compare) isExpr()     {}
+func (*And) isExpr()         {}
+func (*Or) isExpr()          {}
+func (*Call) isExpr()        {}
+func (*FLWOR) isExpr()       {}
+func (*SeqExpr) isExpr()     {}
+func (*Arith) isExpr()       {}
+func (*Neg) isExpr()         {}
+func (*IfExpr) isExpr()      {}
+func (*Union) isExpr()       {}
+func (*Quantified) isExpr()  {}

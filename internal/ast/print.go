@@ -1,0 +1,193 @@
+package ast
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xqtp/internal/xdm"
+)
+
+// String renders an expression back to surface syntax. The output reparses
+// to a structurally identical tree (modulo redundant parentheses), which the
+// parser tests rely on.
+func String(e Expr) string {
+	var b strings.Builder
+	print(&b, e, 0)
+	return b.String()
+}
+
+// Precedence levels, loosest first.
+const (
+	precFLWOR = iota
+	precOr
+	precAnd
+	precCompare
+	precAdd
+	precMul
+	precUnion
+	precUnary
+	precPath
+	precPrimary
+)
+
+func print(b *strings.Builder, e Expr, ctx int) {
+	prec := precedence(e)
+	if prec < ctx {
+		b.WriteString("(")
+		defer b.WriteString(")")
+	}
+	switch x := e.(type) {
+	case *VarRef:
+		b.WriteString("$" + x.Name)
+	case *StringLit:
+		b.WriteString(`"` + strings.ReplaceAll(x.Value, `"`, `""`) + `"`)
+	case *NumberLit:
+		if x.IsInt {
+			b.WriteString(strconv.FormatInt(int64(x.Value), 10))
+		} else {
+			b.WriteString(strconv.FormatFloat(x.Value, 'g', -1, 64))
+		}
+	case *ContextItem:
+		b.WriteString(".")
+	case *Root:
+		b.WriteString("fn:root(.)")
+	case *EmptySeq:
+		b.WriteString("()")
+	case *Step:
+		fmt.Fprintf(b, "%s::%s", x.Axis, x.Test)
+		printPreds(b, x.Preds)
+	case *Path:
+		print(b, x.Left, precPath)
+		b.WriteString("/")
+		print(b, x.Right, precPrimary)
+	case *Filter:
+		print(b, x.Primary, precPrimary)
+		printPreds(b, x.Preds)
+	case *Compare:
+		print(b, x.L, precAdd)
+		fmt.Fprintf(b, " %s ", x.Op)
+		print(b, x.R, precAdd)
+	case *Arith:
+		inner := precAdd
+		if x.Op == xdm.OpMul || x.Op == xdm.OpDiv || x.Op == xdm.OpIDiv || x.Op == xdm.OpMod {
+			inner = precMul
+		}
+		print(b, x.L, inner)
+		fmt.Fprintf(b, " %s ", x.Op)
+		print(b, x.R, inner+1)
+	case *Neg:
+		b.WriteString("-")
+		print(b, x.X, precUnary)
+	case *Union:
+		print(b, x.L, precUnion)
+		b.WriteString(" | ")
+		print(b, x.R, precUnion+1)
+	case *SeqExpr:
+		b.WriteString("(")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			print(b, it, 0)
+		}
+		b.WriteString(")")
+	case *IfExpr:
+		b.WriteString("if (")
+		print(b, x.Cond, 0)
+		b.WriteString(") then ")
+		print(b, x.Then, precOr)
+		b.WriteString(" else ")
+		print(b, x.Else, precOr)
+	case *Quantified:
+		if x.Every {
+			b.WriteString("every ")
+		} else {
+			b.WriteString("some ")
+		}
+		for i, qb := range x.Bindings {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString("$" + qb.Var + " in ")
+			print(b, qb.In, precOr)
+		}
+		b.WriteString(" satisfies ")
+		print(b, x.Satisfies, precOr)
+	case *And:
+		print(b, x.L, precCompare)
+		b.WriteString(" and ")
+		print(b, x.R, precCompare)
+	case *Or:
+		print(b, x.L, precAnd)
+		b.WriteString(" or ")
+		print(b, x.R, precAnd)
+	case *Call:
+		b.WriteString(x.Name + "(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			print(b, a, 0)
+		}
+		b.WriteString(")")
+	case *FLWOR:
+		for i, c := range x.Clauses {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			switch c.Kind {
+			case ForClause:
+				b.WriteString("for $" + c.Var)
+				if c.At != "" {
+					b.WriteString(" at $" + c.At)
+				}
+				b.WriteString(" in ")
+			case LetClause:
+				b.WriteString("let $" + c.Var + " := ")
+			}
+			print(b, c.Expr, precOr)
+		}
+		if x.Where != nil {
+			b.WriteString(" where ")
+			print(b, x.Where, precOr)
+		}
+		b.WriteString(" return ")
+		print(b, x.Return, precFLWOR)
+	default:
+		fmt.Fprintf(b, "?%T?", e)
+	}
+}
+
+func printPreds(b *strings.Builder, preds []Expr) {
+	for _, p := range preds {
+		b.WriteString("[")
+		print(b, p, 0)
+		b.WriteString("]")
+	}
+}
+
+func precedence(e Expr) int {
+	switch x := e.(type) {
+	case *FLWOR, *IfExpr, *Quantified:
+		return precFLWOR
+	case *Or:
+		return precOr
+	case *And:
+		return precAnd
+	case *Compare:
+		return precCompare
+	case *Arith:
+		if x.Op == xdm.OpMul || x.Op == xdm.OpDiv || x.Op == xdm.OpIDiv || x.Op == xdm.OpMod {
+			return precMul
+		}
+		return precAdd
+	case *Union:
+		return precUnion
+	case *Neg:
+		return precUnary
+	case *Path:
+		return precPath
+	}
+	return precPrimary
+}

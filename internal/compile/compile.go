@@ -1,0 +1,233 @@
+// Package compile lowers rewritten XQuery Core expressions into the tuple
+// algebra, following the compilation scheme of the Galax algebraic compiler
+// (Re, Siméon, Fernández, ICDE 2006) that the paper builds on: for-loops
+// become MapFromItem/MapToItem pipelines, where clauses become Select,
+// positional variables become MapIndex, and axis steps become TreeJoin. The
+// output for Q1-tp is exactly the paper's plan P1.
+package compile
+
+import (
+	"fmt"
+
+	"xqtp/internal/algebra"
+	"xqtp/internal/core"
+	"xqtp/internal/xdm"
+)
+
+// Compile lowers a core expression to an algebraic plan. Variables bound by
+// for/let inside the expression become tuple-field accesses (IN#x); free
+// variables become engine-environment references ($x).
+func Compile(e core.Expr) (algebra.Expr, error) {
+	return compile(e, map[string]bool{})
+}
+
+func compile(e core.Expr, bound map[string]bool) (algebra.Expr, error) {
+	switch x := e.(type) {
+	case *core.Var:
+		if bound[x.Name] {
+			return &algebra.Field{Name: x.Name}, nil
+		}
+		return &algebra.VarRef{Name: x.Name}, nil
+
+	case *core.StringLit:
+		return &algebra.Const{Item: xdm.String(x.Value)}, nil
+
+	case *core.NumberLit:
+		if x.IsInt {
+			return &algebra.Const{Item: xdm.Integer(int64(x.Value))}, nil
+		}
+		return &algebra.Const{Item: xdm.Float(x.Value)}, nil
+
+	case *core.EmptySeq:
+		return &algebra.EmptySeq{}, nil
+
+	case *core.Step:
+		in, err := compile(x.Input, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.TreeJoin{Axis: x.Axis, Test: x.Test, Input: in}, nil
+
+	case *core.For:
+		return compileFor(x, bound)
+
+	case *core.Let:
+		val, err := compile(x.In, bound)
+		if err != nil {
+			return nil, err
+		}
+		body, err := compile(x.Return, with(bound, x.Var))
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.LetBind{Name: x.Var, Value: val, Body: body}, nil
+
+	case *core.If:
+		cond, err := compile(x.Cond, bound)
+		if err != nil {
+			return nil, err
+		}
+		then, err := compile(x.Then, bound)
+		if err != nil {
+			return nil, err
+		}
+		els, err := compile(x.Else, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.If{Cond: cond, Then: then, Else: els}, nil
+
+	case *core.TypeSwitch:
+		return compileTypeSwitch(x, bound)
+
+	case *core.Call:
+		args := make([]algebra.Expr, len(x.Args))
+		for i, a := range x.Args {
+			c, err := compile(a, bound)
+			if err != nil {
+				return nil, err
+			}
+			args[i] = c
+		}
+		return &algebra.Call{Name: x.Name, Args: args}, nil
+
+	case *core.Compare:
+		l, err := compile(x.L, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(x.R, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Compare{Op: x.Op, L: l, R: r}, nil
+
+	case *core.Sequence:
+		out := &algebra.Sequence{Items: make([]algebra.Expr, len(x.Items))}
+		for i, it := range x.Items {
+			c, err := compile(it, bound)
+			if err != nil {
+				return nil, err
+			}
+			out.Items[i] = c
+		}
+		return out, nil
+
+	case *core.Arith:
+		l, err := compile(x.L, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(x.R, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Arith{Op: x.Op, L: l, R: r}, nil
+
+	case *core.And:
+		l, err := compile(x.L, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(x.R, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.And{L: l, R: r}, nil
+
+	case *core.Or:
+		l, err := compile(x.L, bound)
+		if err != nil {
+			return nil, err
+		}
+		r, err := compile(x.R, bound)
+		if err != nil {
+			return nil, err
+		}
+		return &algebra.Or{L: l, R: r}, nil
+	}
+	return nil, fmt.Errorf("compile: cannot compile %T", e)
+}
+
+// compileFor produces the map pipeline
+//
+//	MapToItem{Return'}(Select{Where'}(MapIndex[pos](MapFromItem{[x : IN]}(In'))))
+//
+// with Select/MapIndex present only when the loop has a where clause or a
+// positional variable.
+func compileFor(f *core.For, bound map[string]bool) (algebra.Expr, error) {
+	in, err := compile(f.In, bound)
+	if err != nil {
+		return nil, err
+	}
+	inner := with(bound, f.Var)
+	var plan algebra.Expr = &algebra.MapFromItem{Bind: f.Var, Input: in}
+	if f.Pos != "" {
+		inner = with(inner, f.Pos)
+		plan = &algebra.MapIndex{Field: f.Pos, Input: plan}
+	}
+	if f.Where != nil {
+		pred, err := compile(f.Where, inner)
+		if err != nil {
+			return nil, err
+		}
+		plan = &algebra.Select{Pred: ensureBoolean(f.Where, pred), Input: plan}
+	}
+	dep, err := compile(f.Return, inner)
+	if err != nil {
+		return nil, err
+	}
+	return &algebra.MapToItem{Dep: dep, Input: plan}, nil
+}
+
+func compileTypeSwitch(ts *core.TypeSwitch, bound map[string]bool) (algebra.Expr, error) {
+	in, err := compile(ts.Input, bound)
+	if err != nil {
+		return nil, err
+	}
+	out := &algebra.TypeSwitch{Input: in, DefVar: ts.DefVar}
+	for _, c := range ts.Cases {
+		if c.Type != core.TypeNumeric {
+			return nil, fmt.Errorf("compile: unsupported typeswitch case %s", c.Type)
+		}
+		body, err := compile(c.Body, with(bound, c.Var))
+		if err != nil {
+			return nil, err
+		}
+		out.Cases = append(out.Cases, algebra.TSCase{Type: "numeric", Var: c.Var, Body: body})
+	}
+	def, err := compile(ts.Default, with(bound, ts.DefVar))
+	if err != nil {
+		return nil, err
+	}
+	out.Default = def
+	return out, nil
+}
+
+// ensureBoolean wraps a compiled predicate in fn:boolean unless the core
+// expression is already boolean-valued (the shape of the paper's Select
+// predicates: fn:boolean(TreeJoin…) for existence, a bare comparison for
+// value predicates).
+func ensureBoolean(orig core.Expr, compiled algebra.Expr) algebra.Expr {
+	switch x := orig.(type) {
+	case *core.Compare, *core.And, *core.Or:
+		return compiled
+	case *core.Call:
+		switch x.Name {
+		case "boolean", "not", "empty", "exists", "true", "false":
+			return compiled
+		}
+	}
+	return &algebra.Call{Name: "boolean", Args: []algebra.Expr{compiled}}
+}
+
+func with(bound map[string]bool, name string) map[string]bool {
+	out := make(map[string]bool, len(bound)+1)
+	for k := range bound {
+		out[k] = true
+	}
+	if name != "" {
+		out[name] = true
+	}
+	return out
+}

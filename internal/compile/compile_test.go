@@ -1,0 +1,134 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"xqtp/internal/algebra"
+	"xqtp/internal/core"
+	"xqtp/internal/parser"
+	"xqtp/internal/rewrite"
+	"xqtp/internal/xdm"
+)
+
+func compileQuery(t *testing.T, q string) algebra.Expr {
+	t.Helper()
+	e, err := parser.Parse(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Normalize(e, "dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = rewrite.Rewrite(c, rewrite.Options{SingletonVars: map[string]bool{"d": true, "dot": true}})
+	p, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The compiled plan for Q1-tp is the paper's P1: map operators, TreeJoins
+// on tuple fields, a boolean Select, one surrounding ddo.
+func TestQ1CompilesToP1(t *testing.T) {
+	p := compileQuery(t, `$d//person[emailaddress]/name`)
+	s := algebra.String(p)
+	top, ok := p.(*algebra.Call)
+	if !ok || top.Name != "ddo" {
+		t.Fatalf("top is %T, want fs:ddo: %s", p, s)
+	}
+	mti, ok := top.Args[0].(*algebra.MapToItem)
+	if !ok {
+		t.Fatalf("below ddo: %T", top.Args[0])
+	}
+	tj, ok := mti.Dep.(*algebra.TreeJoin)
+	if !ok || tj.Test.Name != "name" {
+		t.Fatalf("outer dep: %s", algebra.String(mti.Dep))
+	}
+	if _, ok := tj.Input.(*algebra.Field); !ok {
+		t.Fatalf("TreeJoin input is %T, want Field", tj.Input)
+	}
+	if !strings.Contains(s, "Select{fn:boolean(TreeJoin[child::emailaddress]") {
+		t.Errorf("Select predicate shape wrong: %s", s)
+	}
+	if !strings.Contains(s, "MapFromItem") {
+		t.Errorf("missing MapFromItem: %s", s)
+	}
+}
+
+// Comparisons compile without an fn:boolean wrapper (the paper's Q2 Select).
+func TestComparisonPredicateNotWrapped(t *testing.T) {
+	p := compileQuery(t, `$d//person[name = "John"]/emailaddress`)
+	s := algebra.String(p)
+	if strings.Contains(s, `boolean(TreeJoin[child::name](IN#`) {
+		t.Errorf("comparison wrongly wrapped in boolean: %s", s)
+	}
+	if !strings.Contains(s, `= "John"`) {
+		t.Errorf("comparison lost: %s", s)
+	}
+}
+
+// Positional loops compile to MapIndex.
+func TestPositionalCompilesToMapIndex(t *testing.T) {
+	p := compileQuery(t, `$d//person[1]`)
+	counts := algebra.CountOperators(p)
+	if counts["MapIndex"] != 1 {
+		t.Errorf("MapIndex = %d: %s", counts["MapIndex"], algebra.String(p))
+	}
+}
+
+// Free variables compile to engine references; bound ones to fields.
+func TestVarCompilation(t *testing.T) {
+	p := compileQuery(t, `for $x in $d/a return $x/b`)
+	counts := algebra.CountOperators(p)
+	if counts["Var"] != 1 {
+		t.Errorf("free var refs = %d", counts["Var"])
+	}
+	if counts["Field"] == 0 {
+		t.Errorf("no field refs: %s", algebra.String(p))
+	}
+}
+
+// Residual lets and typeswitches compile to LetBind/TypeSwitch.
+func TestResidualLetAndTypeSwitch(t *testing.T) {
+	// A multi-use let survives rewriting.
+	lets := &core.Let{
+		Var: "x",
+		In:  &core.StringLit{Value: "v"},
+		Return: &core.Compare{Op: xdm.OpEq,
+			L: &core.Var{Name: "x"}, R: &core.Var{Name: "x"}},
+	}
+	p, err := Compile(lets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algebra.CountOperators(p)["LetBind"] != 1 {
+		t.Errorf("LetBind missing: %s", algebra.String(p))
+	}
+	// An unknown-typed predicate keeps its typeswitch.
+	e, err := parser.Parse(`$d//person[$k]/name`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Normalize(e, "dot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = rewrite.Rewrite(c, rewrite.Options{SingletonVars: map[string]bool{"d": true}})
+	p2, err := Compile(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if algebra.CountOperators(p2)["TypeSwitch"] != 1 {
+		t.Errorf("TypeSwitch missing: %s", algebra.String(p2))
+	}
+}
+
+// If expressions (where after let) compile.
+func TestIfCompilation(t *testing.T) {
+	p := compileQuery(t, `for $x in $d/a let $n := $x/b where $n = "q" return $n`)
+	if algebra.CountOperators(p)["If"] == 0 {
+		t.Errorf("If missing: %s", algebra.String(p))
+	}
+}

@@ -1,0 +1,108 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// Semantics of the extended fragment: sequences, arithmetic, union,
+// if/then/else, quantifiers, and the function library.
+func TestExtendedFragmentSemantics(t *testing.T) {
+	cases := []struct {
+		query string
+		want  []string
+	}{
+		// Sequence construction and union.
+		{`(1, 2, 3)`, []string{"1", "2", "3"}},
+		{`count(($d//name, $d//emailaddress))`, []string{"7"}},
+		// Union is distinct-document-order: names and emails interleaved.
+		{`count($d//name | $d//emailaddress)`, []string{"7"}},
+		{`($d//person[1]/name | $d//person[1]/name)/text()`, []string{"John"}},
+		// Arithmetic.
+		{`1 + 2 * 3`, []string{"7"}},
+		{`(1 + 2) * 3`, []string{"9"}},
+		{`7 idiv 2`, []string{"3"}},
+		{`7 mod 2`, []string{"1"}},
+		{`-(3 - 5)`, []string{"2"}},
+		{`count($d//person) - 1`, []string{"3"}},
+		{`$d//person[position() = last() - 2]/name`, []string{"Mary"}},
+		// if/then/else.
+		{`if ($d//person[name = "John"]) then "yes" else "no"`, []string{"yes"}},
+		{`if ($d//person[name = "Zoe"]) then "yes" else "no"`, []string{"no"}},
+		// Quantifiers.
+		{`some $x in $d//person satisfies $x/name = "Mary"`, []string{"true"}},
+		{`every $x in $d//person satisfies $x/name`, []string{"true"}},
+		{`every $x in $d//person satisfies $x/emailaddress`, []string{"false"}},
+		{`some $x in $d//person, $y in $x/person satisfies $y/emailaddress`, []string{"true"}},
+		// Function library.
+		{`string($d//person[2]/name)`, []string{"Mary"}},
+		{`concat("<", $d//name[1], ">")`, []string{"<John>"}},
+		{`count($d//person[contains(name, "oh")])`, []string{"1"}},
+		{`count($d//person[starts-with(name, "M")])`, []string{"1"}},
+		{`string-length($d//name[1])`, []string{"4"}},
+		{`substring("hello", 2, 3)`, []string{"ell"}},
+		{`normalize-space("  a   b ")`, []string{"a b"}},
+		{`number("3.5") + 1`, []string{"4.5"}},
+		{`sum((1, 2, 3))`, []string{"6"}},
+		{`avg((1, 2))`, []string{"1.5"}},
+		{`min((4, 2, 9))`, []string{"2"}},
+		{`max((4, 2, 9))`, []string{"9"}},
+		{`name($d//person[1]/name)`, []string{"name"}},
+		{`count(data($d//name))`, []string{"4"}},
+		// string() / number() on the context item inside predicates.
+		{`count($d//name[string() = "John"])`, []string{"1"}},
+	}
+	for _, tc := range cases {
+		got := stringValues(evalQuery(t, tc.query, personDoc))
+		if strings.Join(got, "|") != strings.Join(tc.want, "|") {
+			t.Errorf("%s:\n got  %v\n want %v", tc.query, got, tc.want)
+		}
+	}
+}
+
+// The name lexing gotcha: a-b is one name, a - b is subtraction.
+func TestHyphenVsMinus(t *testing.T) {
+	got := stringValues(evalQuery(t, `3 -1`, personDoc))
+	if len(got) != 1 || got[0] != "2" {
+		t.Errorf("3 -1 = %v", got)
+	}
+	// closed-auction style names still work as single steps.
+	got = stringValues(evalQuery(t, `count($d//closed-thing)`, `<doc><closed-thing/></doc>`))
+	if len(got) != 1 || got[0] != "1" {
+		t.Errorf("hyphenated name = %v", got)
+	}
+}
+
+// Union results are document-ordered and duplicate-free even when the
+// operands overlap or arrive out of order.
+func TestUnionDDOSemantics(t *testing.T) {
+	doc := `<doc><a/><b/><a/></doc>`
+	got := evalQuery(t, `count($d//b | $d//a | $d//a)`, doc)
+	if len(got) != 1 || stringValues(got)[0] != "3" {
+		t.Errorf("union count = %v", stringValues(got))
+	}
+}
+
+// The reverse and horizontal axes evaluate correctly end to end (they stay
+// outside the tree-pattern fragment; the nested loop handles them).
+func TestExtraAxes(t *testing.T) {
+	doc := `<doc><a/><b><c/><d/><c/></b><e/></doc>`
+	cases := []struct {
+		query string
+		want  string
+	}{
+		{`count($d//c[1]/following-sibling::node())`, "2"},
+		{`count($d//d/preceding-sibling::c)`, "1"},
+		{`name($d//b/following::*[1])`, "e"},
+		{`count($d//e/preceding::*)`, "5"}, // a, b, c, d, c
+		{`name($d//d/parent::*)`, "b"},
+		{`count($d//d/ancestor::*)`, "2"},
+		{`count($d//d/ancestor-or-self::node())`, "4"},
+	}
+	for _, tc := range cases {
+		got := stringValues(evalQuery(t, tc.query, doc))
+		if len(got) != 1 || got[0] != tc.want {
+			t.Errorf("%s = %v, want %s", tc.query, got, tc.want)
+		}
+	}
+}

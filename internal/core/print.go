@@ -1,0 +1,190 @@
+package core
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// String renders a core expression in the paper's notation, on one line.
+func String(e Expr) string {
+	var b strings.Builder
+	printCore(&b, e)
+	return b.String()
+}
+
+// Pretty renders a core expression with indentation, for plan inspection.
+func Pretty(e Expr) string {
+	var b strings.Builder
+	prettyCore(&b, e, 0)
+	return b.String()
+}
+
+func printCore(b *strings.Builder, e Expr) {
+	switch x := e.(type) {
+	case *Var:
+		b.WriteString("$" + x.Name)
+	case *StringLit:
+		fmt.Fprintf(b, "%q", x.Value)
+	case *NumberLit:
+		if x.IsInt {
+			b.WriteString(strconv.FormatInt(int64(x.Value), 10))
+		} else {
+			b.WriteString(strconv.FormatFloat(x.Value, 'g', -1, 64))
+		}
+	case *EmptySeq:
+		b.WriteString("()")
+	case *Step:
+		printCore(b, x.Input)
+		fmt.Fprintf(b, "/%s::%s", x.Axis, x.Test)
+	case *For:
+		b.WriteString("for $" + x.Var)
+		if x.Pos != "" {
+			b.WriteString(" at $" + x.Pos)
+		}
+		b.WriteString(" in ")
+		printCore(b, x.In)
+		if x.Where != nil {
+			b.WriteString(" where ")
+			printCore(b, x.Where)
+		}
+		b.WriteString(" return (")
+		printCore(b, x.Return)
+		b.WriteString(")")
+	case *Let:
+		b.WriteString("let $" + x.Var + " := ")
+		printCore(b, x.In)
+		b.WriteString(" return (")
+		printCore(b, x.Return)
+		b.WriteString(")")
+	case *If:
+		b.WriteString("if (")
+		printCore(b, x.Cond)
+		b.WriteString(") then (")
+		printCore(b, x.Then)
+		b.WriteString(") else (")
+		printCore(b, x.Else)
+		b.WriteString(")")
+	case *TypeSwitch:
+		b.WriteString("typeswitch (")
+		printCore(b, x.Input)
+		b.WriteString(")")
+		for _, c := range x.Cases {
+			fmt.Fprintf(b, " case $%s as %s return (", c.Var, c.Type)
+			printCore(b, c.Body)
+			b.WriteString(")")
+		}
+		b.WriteString(" default")
+		if x.DefVar != "" {
+			b.WriteString(" $" + x.DefVar)
+		}
+		b.WriteString(" return (")
+		printCore(b, x.Default)
+		b.WriteString(")")
+	case *Call:
+		b.WriteString(x.Name + "(")
+		for i, a := range x.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printCore(b, a)
+		}
+		b.WriteString(")")
+	case *Compare:
+		printCore(b, x.L)
+		fmt.Fprintf(b, " %s ", x.Op)
+		printCore(b, x.R)
+	case *Sequence:
+		b.WriteString("(")
+		for i, it := range x.Items {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			printCore(b, it)
+		}
+		b.WriteString(")")
+	case *Arith:
+		b.WriteString("(")
+		printCore(b, x.L)
+		fmt.Fprintf(b, " %s ", x.Op)
+		printCore(b, x.R)
+		b.WriteString(")")
+	case *And:
+		b.WriteString("(")
+		printCore(b, x.L)
+		b.WriteString(" and ")
+		printCore(b, x.R)
+		b.WriteString(")")
+	case *Or:
+		b.WriteString("(")
+		printCore(b, x.L)
+		b.WriteString(" or ")
+		printCore(b, x.R)
+		b.WriteString(")")
+	default:
+		fmt.Fprintf(b, "?%T?", e)
+	}
+}
+
+func indent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+func prettyCore(b *strings.Builder, e Expr, depth int) {
+	switch x := e.(type) {
+	case *For:
+		b.WriteString("for $" + x.Var)
+		if x.Pos != "" {
+			b.WriteString(" at $" + x.Pos)
+		}
+		b.WriteString(" in ")
+		prettyCore(b, x.In, depth+1)
+		if x.Where != nil {
+			b.WriteString("\n")
+			indent(b, depth)
+			b.WriteString("where ")
+			prettyCore(b, x.Where, depth+1)
+		}
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString("return ")
+		prettyCore(b, x.Return, depth+1)
+	case *Let:
+		b.WriteString("let $" + x.Var + " := ")
+		prettyCore(b, x.In, depth+1)
+		b.WriteString("\n")
+		indent(b, depth)
+		b.WriteString("return ")
+		prettyCore(b, x.Return, depth+1)
+	case *Call:
+		if x.Name == "ddo" && len(x.Args) == 1 {
+			b.WriteString("ddo(")
+			prettyCore(b, x.Args[0], depth+1)
+			b.WriteString(")")
+			return
+		}
+		printCore(b, x)
+	case *TypeSwitch:
+		b.WriteString("typeswitch (")
+		prettyCore(b, x.Input, depth+1)
+		b.WriteString(")")
+		for _, c := range x.Cases {
+			b.WriteString("\n")
+			indent(b, depth+1)
+			fmt.Fprintf(b, "case $%s as %s return ", c.Var, c.Type)
+			prettyCore(b, c.Body, depth+2)
+		}
+		b.WriteString("\n")
+		indent(b, depth+1)
+		b.WriteString("default")
+		if x.DefVar != "" {
+			b.WriteString(" $" + x.DefVar)
+		}
+		b.WriteString(" return ")
+		prettyCore(b, x.Default, depth+2)
+	default:
+		printCore(b, e)
+	}
+}

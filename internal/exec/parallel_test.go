@@ -1,0 +1,39 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+
+	"xqtp/internal/join"
+)
+
+// Parallel TupleTreePattern evaluation is deterministic and identical to
+// sequential evaluation on every algorithm (run with -race to validate the
+// synchronization).
+func TestParallelTTPMatchesSequential(t *testing.T) {
+	queries := []string{
+		`for $x in $d//person[emailaddress] return $x/name`, // per-tuple patterns
+		`$d//person[name]/name`,
+		`$d//site//person//name`,
+	}
+	for _, q := range queries {
+		plan := pipeline(t, q, true)
+		for seed := int64(0); seed < 6; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			tr := randomDoc(rng, 100+rng.Intn(200))
+			for _, alg := range []join.Algorithm{join.NestedLoop, join.Staircase, join.Twig} {
+				seqEngine := NewEngine(alg, engineVars(tr))
+				want, err1 := seqEngine.Run(plan)
+				parEngine := NewEngine(alg, engineVars(tr))
+				parEngine.Parallel = 4
+				got, err2 := parEngine.Run(plan)
+				if (err1 == nil) != (err2 == nil) {
+					t.Fatalf("%s/%v seed %d: error mismatch %v vs %v", q, alg, seed, err1, err2)
+				}
+				if !seqEqual(want, got) {
+					t.Errorf("%s/%v seed %d: parallel result differs", q, alg, seed)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+// Package exec evaluates algebraic plans: a tuple-at-a-time interpreter for
+// the map operators, navigational TreeJoins, and the TupleTreePattern
+// operator dispatching to the configured physical algorithm.
+package exec
+
+import (
+	"fmt"
+
+	"xqtp/internal/xdm"
+)
+
+// Tuple is an immutable tuple of named sequence-valued fields, represented
+// as a persistent chain so extension is O(1) and shares structure.
+type Tuple struct {
+	name   string
+	val    xdm.Sequence
+	parent *Tuple
+}
+
+// Extend returns a new tuple with an additional (or overriding) field.
+func (t *Tuple) Extend(name string, val xdm.Sequence) *Tuple {
+	return &Tuple{name: name, val: val, parent: t}
+}
+
+// Lookup resolves a field of the tuple.
+func (t *Tuple) Lookup(name string) (xdm.Sequence, bool) {
+	for c := t; c != nil; c = c.parent {
+		if c.name == name {
+			return c.val, true
+		}
+	}
+	return nil, false
+}
+
+// Value is the result of evaluating an algebra expression: either an item
+// sequence or a tuple sequence.
+type Value struct {
+	items    xdm.Sequence
+	tuples   []*Tuple
+	isTuples bool
+}
+
+// ItemsValue wraps an item sequence.
+func ItemsValue(s xdm.Sequence) Value { return Value{items: s} }
+
+// TuplesValue wraps a tuple sequence.
+func TuplesValue(ts []*Tuple) Value { return Value{tuples: ts, isTuples: true} }
+
+// Items returns the item sequence, or an error if the value is tuples.
+func (v Value) Items() (xdm.Sequence, error) {
+	if v.isTuples {
+		return nil, fmt.Errorf("exec: expected an item sequence, got %d tuples", len(v.tuples))
+	}
+	return v.items, nil
+}
+
+// Tuples returns the tuple sequence, or an error if the value is items.
+func (v Value) Tuples() ([]*Tuple, error) {
+	if !v.isTuples {
+		return nil, fmt.Errorf("exec: expected a tuple sequence, got %d items", len(v.items))
+	}
+	return v.tuples, nil
+}
+
+// scope is the dependent-evaluation context: a chain of frames carrying the
+// current tuple (IN#field) and/or the current item (IN).
+type scope struct {
+	tuple   *Tuple
+	item    xdm.Item
+	hasItem bool
+	parent  *scope
+}
+
+func (s *scope) pushTuple(t *Tuple) *scope { return &scope{tuple: t, parent: s} }
+
+// lookupField resolves IN#name against the innermost frame that has it.
+func (s *scope) lookupField(name string) (xdm.Sequence, bool) {
+	for f := s; f != nil; f = f.parent {
+		if f.tuple != nil {
+			if v, ok := f.tuple.Lookup(name); ok {
+				return v, true
+			}
+		}
+	}
+	return nil, false
+}
+
+// currentTuple returns the innermost tuple frame.
+func (s *scope) currentTuple() (*Tuple, bool) {
+	for f := s; f != nil; f = f.parent {
+		if f.tuple != nil {
+			return f.tuple, true
+		}
+	}
+	return nil, false
+}
+
+// currentItem returns the innermost item frame.
+func (s *scope) currentItem() (xdm.Item, bool) {
+	for f := s; f != nil; f = f.parent {
+		if f.hasItem {
+			return f.item, true
+		}
+	}
+	return nil, false
+}

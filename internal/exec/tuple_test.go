@@ -1,0 +1,71 @@
+package exec
+
+import (
+	"testing"
+
+	"xqtp/internal/xdm"
+)
+
+func TestTupleExtendAndLookup(t *testing.T) {
+	var base *Tuple
+	t1 := base.Extend("a", xdm.Singleton(xdm.Integer(1)))
+	t2 := t1.Extend("b", xdm.Singleton(xdm.Integer(2)))
+	t3 := t2.Extend("a", xdm.Singleton(xdm.Integer(9))) // override
+
+	if v, ok := t2.Lookup("a"); !ok || v[0] != xdm.Integer(1) {
+		t.Errorf("t2.a = %v, %v", v, ok)
+	}
+	if v, ok := t3.Lookup("a"); !ok || v[0] != xdm.Integer(9) {
+		t.Errorf("t3.a = %v, %v (override)", v, ok)
+	}
+	if v, ok := t3.Lookup("b"); !ok || v[0] != xdm.Integer(2) {
+		t.Errorf("t3.b = %v, %v", v, ok)
+	}
+	if _, ok := t3.Lookup("zzz"); ok {
+		t.Error("missing field found")
+	}
+	// Persistence: extending t2 did not change t1.
+	if _, ok := t1.Lookup("b"); ok {
+		t.Error("t1 gained a field")
+	}
+}
+
+func TestScopeChainLookup(t *testing.T) {
+	outer := (*Tuple)(nil).Extend("x", xdm.Singleton(xdm.Integer(1)))
+	inner := (*Tuple)(nil).Extend("y", xdm.Singleton(xdm.Integer(2)))
+	sc := (*scope)(nil).pushTuple(outer).pushTuple(inner)
+
+	if v, ok := sc.lookupField("y"); !ok || v[0] != xdm.Integer(2) {
+		t.Errorf("inner lookup = %v, %v", v, ok)
+	}
+	// Outer fields visible through the chain (correlated predicates).
+	if v, ok := sc.lookupField("x"); !ok || v[0] != xdm.Integer(1) {
+		t.Errorf("outer lookup = %v, %v", v, ok)
+	}
+	if _, ok := sc.lookupField("z"); ok {
+		t.Error("missing field found through chain")
+	}
+	if tp, ok := sc.currentTuple(); !ok || tp != inner {
+		t.Error("currentTuple should be the innermost frame")
+	}
+	if _, ok := sc.currentItem(); ok {
+		t.Error("no item frame expected")
+	}
+}
+
+func TestValueDiscipline(t *testing.T) {
+	items := ItemsValue(xdm.Singleton(xdm.Integer(1)))
+	if _, err := items.Tuples(); err == nil {
+		t.Error("items treated as tuples")
+	}
+	tuples := TuplesValue([]*Tuple{nil})
+	if _, err := tuples.Items(); err == nil {
+		t.Error("tuples treated as items")
+	}
+	if s, err := items.Items(); err != nil || len(s) != 1 {
+		t.Errorf("Items() = %v, %v", s, err)
+	}
+	if ts, err := tuples.Tuples(); err != nil || len(ts) != 1 {
+		t.Errorf("Tuples() = %v, %v", ts, err)
+	}
+}

@@ -1,0 +1,114 @@
+// Package gen produces the synthetic documents used by the paper's
+// evaluation:
+//
+//   - MemBeR-style documents (Table 1): random trees of a fixed depth with a
+//     configurable number of uniformly distributed tags, scaled to a target
+//     serialized size;
+//   - XMark-like auction documents (Fig. 4, Fig. 6): the element hierarchy
+//     of the XMark benchmark that the evaluated queries touch;
+//   - the deep single-tag document of §5.3.
+//
+// All generators are deterministic given their seed, so experiments are
+// reproducible. The real MemBeR/XMark data sets are not redistributable;
+// DESIGN.md documents why these synthetic equivalents preserve the behaviour
+// the experiments measure.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xqtp/internal/xdm"
+)
+
+// MemberConfig parameterizes the MemBeR-style generator.
+type MemberConfig struct {
+	Seed     int64
+	Depth    int // tree depth below the root element (the paper uses 4)
+	NumTags  int // number of distinct tags, uniformly distributed (paper: 100)
+	NumNodes int // total number of element nodes to generate
+}
+
+// Member generates a MemBeR-style document: a random tree with exactly
+// cfg.Depth levels below the root and cfg.NumNodes elements whose tags are
+// drawn uniformly from t01..tNN.
+func Member(cfg MemberConfig) *xdm.Tree {
+	if cfg.Depth <= 0 {
+		cfg.Depth = 4
+	}
+	if cfg.NumTags <= 0 {
+		cfg.NumTags = 100
+	}
+	if cfg.NumNodes <= 0 {
+		cfg.NumNodes = 1000
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	tag := func() string { return fmt.Sprintf("t%02d", 1+rng.Intn(cfg.NumTags)) }
+
+	root := xdm.NewElement("root")
+	// Track candidate parents per level (level of root = 0 here).
+	levels := make([][]*xdm.Node, cfg.Depth)
+	levels[0] = []*xdm.Node{root}
+	made := 0
+	for made < cfg.NumNodes {
+		// Pick a level whose nodes may still have children, biased toward
+		// deeper levels so the bulk of the nodes sits near the leaves (the
+		// shape of a bulk-loaded shallow document).
+		l := rng.Intn(cfg.Depth)
+		if levels[l] == nil || len(levels[l]) == 0 {
+			l = 0
+		}
+		parent := levels[l][rng.Intn(len(levels[l]))]
+		el := xdm.NewElement(tag())
+		parent.AppendChild(el)
+		made++
+		if l+1 < cfg.Depth {
+			levels[l+1] = append(levels[l+1], el)
+		}
+	}
+	return xdm.Finalize(root)
+}
+
+// MemberForSize generates a MemBeR-style document whose serialized size is
+// approximately targetBytes (the paper's 2.1–11 MB series). The element
+// count is derived from the average serialized node width of the generator's
+// output (measured: ≈ 9 bytes per element).
+func MemberForSize(seed int64, targetBytes int) *xdm.Tree {
+	const bytesPerNode = 9
+	return Member(MemberConfig{
+		Seed:     seed,
+		Depth:    4,
+		NumTags:  100,
+		NumNodes: targetBytes / bytesPerNode,
+	})
+}
+
+// Deep generates the §5.3 document: numNodes elements, maximum depth
+// maxDepth, every element named tag. A full-depth spine is created first so
+// that first-child chains reach the maximum depth, then the remaining nodes
+// are attached at random levels.
+func Deep(seed int64, numNodes, maxDepth int, tag string) *xdm.Tree {
+	rng := rand.New(rand.NewSource(seed))
+	root := xdm.NewElement(tag)
+	levels := make([][]*xdm.Node, maxDepth)
+	levels[0] = []*xdm.Node{root}
+	made := 1
+	// Spine: one chain from the root down to maxDepth.
+	cur := root
+	for l := 1; l < maxDepth && made < numNodes; l++ {
+		el := xdm.NewElement(tag)
+		cur.AppendChild(el)
+		levels[l] = append(levels[l], el)
+		cur = el
+		made++
+	}
+	for made < numNodes {
+		l := rng.Intn(maxDepth - 1)
+		parent := levels[l][rng.Intn(len(levels[l]))]
+		el := xdm.NewElement(tag)
+		parent.AppendChild(el)
+		levels[l+1] = append(levels[l+1], el)
+		made++
+	}
+	return xdm.Finalize(root)
+}

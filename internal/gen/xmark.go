@@ -1,0 +1,146 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"xqtp/internal/xdm"
+)
+
+// XMarkConfig parameterizes the XMark-like auction document generator. The
+// defaults follow the proportions of the XMark benchmark document for the
+// subtrees that the paper's queries touch.
+type XMarkConfig struct {
+	Seed   int64
+	People int // number of person elements (scale knob; everything else derives from it)
+}
+
+// regions of the XMark site.
+var xmarkRegions = []string{"africa", "asia", "australia", "europe", "namerica", "samerica"}
+
+var interests = []string{"sports", "music", "books", "travel", "food", "movies", "art", "science"}
+
+// XMark generates an auction-site document with the XMark element hierarchy:
+//
+//	site/regions/<region>/item/(location,name,description)
+//	site/people/person/(name, emailaddress?, phone?, profile/(interest*, education?), address?)
+//	site/open_auctions/open_auction/(initial, bidder*/(date,increase), current, itemref)
+//	site/closed_auctions/closed_auction/(seller, buyer, price, date)
+//	site/categories/category/(name, description)
+func XMark(cfg XMarkConfig) *xdm.Tree {
+	if cfg.People <= 0 {
+		cfg.People = 255
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	nItems := cfg.People * 4
+	nOpen := cfg.People / 2
+	nClosed := cfg.People / 3
+	nCategories := cfg.People / 10
+
+	site := xdm.NewElement("site")
+
+	regions := xdm.NewElement("regions")
+	site.AppendChild(regions)
+	regionEls := make([]*xdm.Node, len(xmarkRegions))
+	for i, r := range xmarkRegions {
+		regionEls[i] = xdm.NewElement(r)
+		regions.AppendChild(regionEls[i])
+	}
+	for i := 0; i < nItems; i++ {
+		item := xdm.NewElement("item")
+		item.SetAttr("id", fmt.Sprintf("item%d", i))
+		item.AppendChild(textEl("location", pick(rng, "United States", "Germany", "Japan", "Belgium")))
+		item.AppendChild(textEl("name", fmt.Sprintf("thing %d", i)))
+		item.AppendChild(textEl("description", "great condition"))
+		if rng.Intn(3) == 0 {
+			item.AppendChild(textEl("quantity", fmt.Sprintf("%d", 1+rng.Intn(5))))
+		}
+		regionEls[rng.Intn(len(regionEls))].AppendChild(item)
+	}
+
+	people := xdm.NewElement("people")
+	site.AppendChild(people)
+	for i := 0; i < cfg.People; i++ {
+		p := xdm.NewElement("person")
+		p.SetAttr("id", fmt.Sprintf("person%d", i))
+		p.AppendChild(textEl("name", fmt.Sprintf("Person %d", i)))
+		if rng.Intn(10) < 8 { // 80% have an email address, like XMark
+			p.AppendChild(textEl("emailaddress", fmt.Sprintf("mailto:p%d@example.com", i)))
+		}
+		if rng.Intn(2) == 0 {
+			p.AppendChild(textEl("phone", fmt.Sprintf("+1 555 01%02d", i%100)))
+		}
+		prof := xdm.NewElement("profile")
+		prof.SetAttr("income", fmt.Sprintf("%d", 20000+rng.Intn(80000)))
+		for k := rng.Intn(4); k > 0; k-- {
+			in := xdm.NewElement("interest")
+			in.SetAttr("category", pick(rng, interests...))
+			prof.AppendChild(in)
+		}
+		if rng.Intn(3) == 0 {
+			prof.AppendChild(textEl("education", pick(rng, "High School", "College", "Graduate School")))
+		}
+		p.AppendChild(prof)
+		if rng.Intn(2) == 0 {
+			addr := xdm.NewElement("address")
+			addr.AppendChild(textEl("city", pick(rng, "Antwerp", "Yorktown", "Brussels", "New York")))
+			addr.AppendChild(textEl("country", pick(rng, "Belgium", "United States")))
+			p.AppendChild(addr)
+		}
+		people.AppendChild(p)
+	}
+
+	open := xdm.NewElement("open_auctions")
+	site.AppendChild(open)
+	for i := 0; i < nOpen; i++ {
+		oa := xdm.NewElement("open_auction")
+		oa.SetAttr("id", fmt.Sprintf("open%d", i))
+		oa.AppendChild(textEl("initial", fmt.Sprintf("%d.00", 5+rng.Intn(100))))
+		for b := rng.Intn(5); b > 0; b-- {
+			bid := xdm.NewElement("bidder")
+			bid.AppendChild(textEl("date", fmt.Sprintf("2006-0%d-1%d", 1+rng.Intn(9), rng.Intn(9))))
+			bid.AppendChild(textEl("increase", fmt.Sprintf("%d.50", 1+rng.Intn(20))))
+			oa.AppendChild(bid)
+		}
+		oa.AppendChild(textEl("current", fmt.Sprintf("%d.00", 10+rng.Intn(300))))
+		ir := xdm.NewElement("itemref")
+		ir.SetAttr("item", fmt.Sprintf("item%d", rng.Intn(nItems)))
+		oa.AppendChild(ir)
+		open.AppendChild(oa)
+	}
+
+	closed := xdm.NewElement("closed_auctions")
+	site.AppendChild(closed)
+	for i := 0; i < nClosed; i++ {
+		ca := xdm.NewElement("closed_auction")
+		seller := xdm.NewElement("seller")
+		seller.SetAttr("person", fmt.Sprintf("person%d", rng.Intn(cfg.People)))
+		buyer := xdm.NewElement("buyer")
+		buyer.SetAttr("person", fmt.Sprintf("person%d", rng.Intn(cfg.People)))
+		ca.AppendChild(seller)
+		ca.AppendChild(buyer)
+		ca.AppendChild(textEl("price", fmt.Sprintf("%d.00", 10+rng.Intn(500))))
+		ca.AppendChild(textEl("date", fmt.Sprintf("2006-1%d-0%d", rng.Intn(2), 1+rng.Intn(9))))
+		closed.AppendChild(ca)
+	}
+
+	cats := xdm.NewElement("categories")
+	site.AppendChild(cats)
+	for i := 0; i < nCategories; i++ {
+		c := xdm.NewElement("category")
+		c.SetAttr("id", fmt.Sprintf("cat%d", i))
+		c.AppendChild(textEl("name", pick(rng, interests...)))
+		c.AppendChild(textEl("description", "all sorts"))
+		cats.AppendChild(c)
+	}
+
+	return xdm.Finalize(site)
+}
+
+func textEl(name, text string) *xdm.Node {
+	el := xdm.NewElement(name)
+	el.AppendChild(xdm.NewText(text))
+	return el
+}
+
+func pick(rng *rand.Rand, options ...string) string { return options[rng.Intn(len(options))] }

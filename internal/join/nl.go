@@ -1,0 +1,102 @@
+package join
+
+import (
+	"xqtp/internal/pattern"
+	"xqtp/internal/xdm"
+)
+
+// nlEval is the nested-loop (navigational) evaluation of a tree pattern:
+// node-at-a-time recursion along the spine, existential early-exit checks
+// for predicate branches. Bindings come out in lexical (context-major)
+// order; the TupleTreePattern operator establishes the output order.
+func nlEval(ctx *xdm.Node, pat *pattern.Pattern) []Binding {
+	var out []Binding
+	nlStep(ctx, pat.Root, nil, &out)
+	return out
+}
+
+func nlStep(ctx *xdm.Node, s *pattern.Step, prefix Binding, out *[]Binding) {
+	for _, cand := range xdm.Step(ctx, s.Axis, s.Test) {
+		if !nlPreds(cand, s.Preds) {
+			continue
+		}
+		b := prefix
+		if s.Out != "" {
+			b = append(append(Binding{}, prefix...), cand)
+		}
+		if s.Next == nil {
+			if len(b) > 0 {
+				*out = append(*out, b)
+			}
+			continue
+		}
+		nlStep(cand, s.Next, b, out)
+	}
+}
+
+// nlPreds checks every predicate branch existentially.
+func nlPreds(ctx *xdm.Node, preds []*pattern.Step) bool {
+	for _, p := range preds {
+		if !nlExists(ctx, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// nlExists reports whether the chain rooted at s has at least one match
+// from ctx, with early exit.
+func nlExists(ctx *xdm.Node, s *pattern.Step) bool {
+	for _, cand := range xdm.Step(ctx, s.Axis, s.Test) {
+		if !nlPreds(cand, s.Preds) {
+			continue
+		}
+		if s.Next == nil || nlExists(cand, s.Next) {
+			return true
+		}
+	}
+	return false
+}
+
+// nlFirst returns the lexically first binding without materializing the
+// rest: the cursor-style evaluation that makes nested loops win on highly
+// selective positional chains (§5.3).
+func nlFirst(ctx *xdm.Node, pat *pattern.Pattern) (Binding, bool) {
+	return nlFirstStep(ctx, pat.Root, nil)
+}
+
+func nlFirstStep(ctx *xdm.Node, s *pattern.Step, prefix Binding) (Binding, bool) {
+	// Child and attribute steps iterate the candidate lists directly so the
+	// cursor stops at the first match without materializing siblings.
+	var candidates []*xdm.Node
+	switch s.Axis {
+	case xdm.AxisChild:
+		candidates = ctx.Children
+	case xdm.AxisAttribute:
+		candidates = ctx.Attrs
+	default:
+		candidates = xdm.Step(ctx, s.Axis, s.Test)
+	}
+	for _, cand := range candidates {
+		if !s.Test.Matches(s.Axis, cand) {
+			continue
+		}
+		if !nlPreds(cand, s.Preds) {
+			continue
+		}
+		b := prefix
+		if s.Out != "" {
+			b = append(append(Binding{}, prefix...), cand)
+		}
+		if s.Next == nil {
+			if len(b) > 0 {
+				return b, true
+			}
+			continue
+		}
+		if found, ok := nlFirstStep(cand, s.Next, b); ok {
+			return found, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,115 @@
+package join
+
+import (
+	"math/bits"
+
+	"xqtp/internal/pattern"
+	"xqtp/internal/xdm"
+	"xqtp/internal/xmlstore"
+)
+
+// Streaming is the streaming XPath evaluator the paper's conclusion lists
+// as future work: linear child/descendant patterns are matched in a single
+// preorder scan of the context subtree with a stack of per-level automaton
+// states — no per-tag index streams, no navigation, one sequential pass
+// (the shape a SAX-based engine would use).
+//
+// Patterns with predicate branches, attribute steps or reverse axes fall
+// back to the nested loop.
+const Streaming Algorithm = 254
+
+// streamSupported reports whether the single scan can evaluate the pattern:
+// a linear spine of child/descendant steps with name/star tests.
+func streamSupported(p *pattern.Pattern) bool {
+	for s := p.Root; s != nil; s = s.Next {
+		if len(s.Preds) > 0 {
+			return false
+		}
+		switch s.Axis {
+		case xdm.AxisChild, xdm.AxisDescendant:
+		default:
+			return false
+		}
+		switch s.Test.Kind {
+		case xdm.TestName, xdm.TestStar:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// streamEval runs the stack automaton over the preorder node array of the
+// context's subtree. The automaton state is the set of pattern steps
+// "active" at the current tree level, held in a bitmask (bit i = "the next
+// step to match is spine[i]"); a node matching the final step is an answer.
+// States are propagated level by level using an explicit stack of
+// (subtree-end, bitmask) frames, so the whole evaluation is one linear scan
+// with no per-node allocation.
+func streamEval(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) []*xdm.Node {
+	var spine []*pattern.Step
+	var descMask uint64
+	for s := pat.Root; s != nil; s = s.Next {
+		if s.Axis == xdm.AxisDescendant {
+			descMask |= 1 << uint(len(spine))
+		}
+		spine = append(spine, s)
+	}
+	n := len(spine)
+	if n > 63 {
+		// Absurdly deep pattern: fall back to the nested loop's bindings.
+		nodes := make([]*xdm.Node, 0)
+		for _, b := range nlEval(ctx, pat) {
+			nodes = append(nodes, b[0])
+		}
+		xdm.SortDoc(nodes)
+		return xdm.DedupSorted(nodes)
+	}
+	finalBit := uint64(1) << uint(n-1)
+
+	type frame struct {
+		until  int    // preorder rank where this frame's subtree ends
+		states uint64 // active state bitmask for this level
+	}
+	stack := []frame{{until: ctx.End(), states: 1}}
+	var out []*xdm.Node
+
+	nodes := ctx.Doc.Nodes
+	lo, hi := ctx.Pre+1, ctx.End()
+	for pre := lo; pre <= hi; pre++ {
+		node := nodes[pre]
+		if node.Kind == xdm.AttributeNode {
+			continue
+		}
+		// Pop frames whose subtree ended before this node.
+		for len(stack) > 1 && stack[len(stack)-1].until < pre {
+			stack = stack[:len(stack)-1]
+		}
+		cur := stack[len(stack)-1].states
+		// Descendant states persist downward; matched states advance.
+		next := cur & descMask
+		if node.Kind == xdm.ElementNode {
+			for rest := cur; rest != 0; rest &= rest - 1 {
+				i := bits.TrailingZeros64(rest)
+				s := spine[i]
+				if s.Test.Matches(s.Axis, node) {
+					if uint64(1)<<uint(i) == finalBit {
+						out = append(out, node)
+						// Dedup: a node accepted once is enough.
+						break
+					}
+					next |= 1 << uint(i+1)
+				}
+			}
+		}
+		if len(node.Children) > 0 {
+			if next == 0 {
+				// No state can fire anywhere below: skip the subtree.
+				pre = node.End()
+				continue
+			}
+			stack = append(stack, frame{until: node.End(), states: next})
+		}
+	}
+	return out
+}

@@ -1,0 +1,310 @@
+package join
+
+import (
+	"sort"
+
+	"xqtp/internal/pattern"
+	"xqtp/internal/xdm"
+	"xqtp/internal/xmlstore"
+)
+
+// twigEval is the holistic twig-join evaluation of a single-output tree
+// pattern (after TwigStack, Bruno et al. SIGMOD'02): one pre-sorted stream
+// and one stack per query node, a getNext oracle that advances the streams
+// in lockstep, and stack-encoded root-to-node chains. Nodes reach a stack
+// only when their parent stack links them to a full root path, which keeps
+// the candidate sets near the final matches for descendant edges; child
+// edges are enforced afterwards in a merge-style refinement pass over the
+// pre-sorted candidate lists (TwigStack is provably optimal only for
+// descendant edges — the paper's observation that child steps do not
+// penalize it in the in-memory model still shows in the refinement cost).
+func twigEval(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) []*xdm.Node {
+	q := buildQuery(ix, ctx, pat)
+	if q == nil {
+		return nil
+	}
+	runTwigStack(q)
+	refine(q)
+	// Select the extraction-point candidates that sit on a refined root
+	// path (top-down pass).
+	topDown(q)
+	ep := findOutput(q)
+	if ep == nil {
+		return nil
+	}
+	return ep.valid
+}
+
+// qnode is one query node of the twig.
+type qnode struct {
+	axis     xdm.Axis // edge from the parent (child/descendant/attribute)
+	test     xdm.NodeTest
+	out      bool
+	parent   *qnode
+	children []*qnode
+
+	stream []*xdm.Node // region-restricted pre-sorted stream
+	pos    int         // stream cursor
+	stack  []stackEntry
+
+	cand  []*xdm.Node // nodes ever pushed (root-path connected), pre-sorted
+	valid []*xdm.Node // candidates surviving refinement and the top-down pass
+}
+
+type stackEntry struct {
+	node *xdm.Node
+}
+
+// buildQuery turns the pattern into a query tree with region-restricted
+// streams. The virtual root is the context node itself.
+func buildQuery(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) *qnode {
+	root := &qnode{test: xdm.AnyNodeTest(), cand: []*xdm.Node{ctx}, valid: []*xdm.Node{ctx}}
+	root.stack = []stackEntry{{node: ctx}}
+	var build func(parent *qnode, s *pattern.Step)
+	build = func(parent *qnode, s *pattern.Step) {
+		q := &qnode{axis: s.Axis, test: s.Test, out: s.Out != "", parent: parent}
+		q.stream = streamWithin(ix, ctx, s.Axis, s.Test)
+		parent.children = append(parent.children, q)
+		for _, p := range s.Preds {
+			build(q, p)
+		}
+		if s.Next != nil {
+			build(q, s.Next)
+		}
+	}
+	build(root, pat.Root)
+	return root
+}
+
+func streamWithin(ix *xmlstore.Index, ctx *xdm.Node, axis xdm.Axis, test xdm.NodeTest) []*xdm.Node {
+	return xmlstore.RegionSlice(ix.StreamFor(axis, test), ctx)
+}
+
+func (q *qnode) exhausted() bool { return q.pos >= len(q.stream) }
+func (q *qnode) next() *xdm.Node { return q.stream[q.pos] }
+func (q *qnode) isLeaf() bool    { return len(q.children) == 0 }
+
+// nextBegin returns the pre rank of the head of q's stream (infinity when
+// exhausted).
+func (q *qnode) nextBegin() int {
+	if q.exhausted() {
+		return int(^uint(0) >> 1)
+	}
+	return q.next().Pre
+}
+
+// runTwigStack advances all streams in document order, pushing a node onto
+// its stack only when its parent's stack holds an ancestor (so every pushed
+// node lies on a root-connected chain). Pushed nodes are the candidate sets
+// the refinement pass works from.
+func runTwigStack(root *qnode) {
+	for {
+		q := getNext(root)
+		if q == nil {
+			return
+		}
+		n := q.next()
+		q.pos++
+		// Clean ancestor stacks of entries that end before n.
+		cleanStacks(root, n)
+		if q.parent.topContains(n) {
+			q.stack = append(q.stack, stackEntry{node: n})
+			q.cand = append(q.cand, n)
+			if q.isLeaf() {
+				// Leaves never gain children; keep the stack shallow.
+				q.stack = q.stack[:len(q.stack)-1]
+			}
+		}
+	}
+}
+
+// getNext returns the descendant-or-self query node whose stream head has
+// the minimal pre rank and can still contribute (the simplified getNext
+// oracle: streams are advanced globally in document order, which preserves
+// the stack invariants that TwigStack relies on).
+func getNext(root *qnode) *qnode {
+	var best *qnode
+	var walk func(*qnode)
+	walk = func(q *qnode) {
+		if q.parent != nil && !q.exhausted() {
+			if best == nil || q.nextBegin() < best.nextBegin() {
+				best = q
+			}
+		}
+		for _, c := range q.children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return best
+}
+
+// cleanStacks pops entries whose region ends before node n starts: they can
+// never be ancestors of n or of anything after n.
+func cleanStacks(root *qnode, n *xdm.Node) {
+	var walk func(*qnode)
+	walk = func(q *qnode) {
+		for len(q.stack) > 0 {
+			top := q.stack[len(q.stack)-1]
+			if top.node.Doc == n.Doc && top.node.End() >= n.Pre {
+				break
+			}
+			if top.node == n.Doc.Root || top.node.Contains(n) {
+				break
+			}
+			q.stack = q.stack[:len(q.stack)-1]
+		}
+		for _, c := range q.children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// topContains reports whether some entry of q's stack is an ancestor of n.
+// Stack entries form a nested chain; the top can be a node at the same pre
+// rank as n (streams of different query nodes may share tags), so the scan
+// walks down until a containing entry is found. Respecting the edge axis is
+// left to refinement for child edges.
+func (q *qnode) topContains(n *xdm.Node) bool {
+	for i := len(q.stack) - 1; i >= 0; i-- {
+		e := q.stack[i].node
+		if e == n.Doc.Root || e.Contains(n) {
+			return true
+		}
+	}
+	return false
+}
+
+// refine keeps, bottom-up, only the candidates that have a matching
+// candidate for every query child under the right axis — a merge over the
+// pre-sorted candidate lists.
+func refine(root *qnode) {
+	var walk func(*qnode)
+	walk = func(q *qnode) {
+		for _, c := range q.children {
+			walk(c)
+		}
+		if q.parent == nil {
+			// The virtual root (the context node) only needs its children
+			// checked.
+			kept := q.valid[:0]
+			for _, n := range q.valid {
+				if supported(n, q) {
+					kept = append(kept, n)
+				}
+			}
+			q.valid = kept
+			return
+		}
+		q.valid = q.valid[:0]
+		for _, n := range q.cand {
+			if supported(n, q) {
+				q.valid = append(q.valid, n)
+			}
+		}
+	}
+	walk(root)
+}
+
+// supported reports whether node n has, for every query child of q, a valid
+// candidate in the required axis relation.
+func supported(n *xdm.Node, q *qnode) bool {
+	for _, c := range q.children {
+		if !hasMatch(n, c) {
+			return false
+		}
+	}
+	return true
+}
+
+// hasMatch checks whether any valid candidate of query node c stands in
+// c.axis relation to n, by binary search over the pre-sorted candidates.
+func hasMatch(n *xdm.Node, c *qnode) bool {
+	cands := c.valid
+	switch c.axis {
+	case xdm.AxisDescendant:
+		i := sort.Search(len(cands), func(i int) bool { return cands[i].Pre > n.Pre })
+		return i < len(cands) && cands[i].Pre <= n.End()
+	case xdm.AxisChild, xdm.AxisAttribute:
+		i := sort.Search(len(cands), func(i int) bool { return cands[i].Pre > n.Pre })
+		for ; i < len(cands) && cands[i].Pre <= n.End(); i++ {
+			if cands[i].Parent == n {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// topDown keeps only candidates whose parent query node has a valid
+// candidate in the required relation, propagating root-path validity down
+// to the extraction point.
+func topDown(root *qnode) {
+	var walk func(*qnode)
+	walk = func(q *qnode) {
+		if q.parent != nil {
+			kept := q.valid[:0]
+			for _, n := range q.valid {
+				if underSome(n, q.parent.valid, q.axis) {
+					kept = append(kept, n)
+				}
+			}
+			q.valid = kept
+		}
+		for _, c := range q.children {
+			walk(c)
+		}
+	}
+	walk(root)
+}
+
+// underSome reports whether n stands in the axis relation below one of the
+// pre-sorted parent candidates.
+func underSome(n *xdm.Node, parents []*xdm.Node, axis xdm.Axis) bool {
+	switch axis {
+	case xdm.AxisChild, xdm.AxisAttribute:
+		p := n.Parent
+		if p == nil {
+			return false
+		}
+		i := sort.Search(len(parents), func(i int) bool { return parents[i].Pre >= p.Pre })
+		return i < len(parents) && parents[i] == p
+	case xdm.AxisDescendant:
+		// Ancestors have smaller pre; scan candidates with Pre < n.Pre
+		// whose region covers n. Binary search for the insertion point,
+		// then walk left while regions can still cover n.
+		i := sort.Search(len(parents), func(i int) bool { return parents[i].Pre >= n.Pre })
+		for j := i - 1; j >= 0; j-- {
+			p := parents[j]
+			if p == n.Doc.Root || p.Contains(n) {
+				return true
+			}
+			// Candidates are in pre order; an earlier candidate can still
+			// contain n even if this one does not (siblings vs ancestors),
+			// so keep scanning until pre ranks leave any plausible region.
+			if p.End() < n.Pre && p.Level <= 1 {
+				break
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// findOutput locates the query node carrying the output annotation.
+func findOutput(root *qnode) *qnode {
+	var found *qnode
+	var walk func(*qnode)
+	walk = func(q *qnode) {
+		if q.out {
+			found = q
+		}
+		for _, c := range q.children {
+			walk(c)
+		}
+	}
+	walk(root)
+	return found
+}

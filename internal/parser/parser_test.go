@@ -1,0 +1,249 @@
+package parser
+
+import (
+	"reflect"
+	"testing"
+
+	"xqtp/internal/ast"
+	"xqtp/internal/xdm"
+)
+
+// The paper's queries, all of which must parse.
+var paperQueries = []string{
+	`$d//person[emailaddress]/name`,                                                                          // Q1a
+	`(for $x in $d//person[emailaddress] return $x)/name`,                                                    // Q1b
+	`let $x := for $y in $d//person where $y/emailaddress return $y return $x/name`,                          // Q1c
+	`$d//person[name = "John"]/emailaddress`,                                                                 // Q2
+	`$d//person[1]/name`,                                                                                     // Q3
+	`$d//person[name = "John"]/emailaddress[1]`,                                                              // Q4
+	`for $x in $d//person[emailaddress] return $x/name`,                                                      // Q5
+	`$input/site/people/person[emailaddress]/profile/interest`,                                               // §5.1
+	`for $x1 in $input/site, $x2 in $x1/people, $x3 in $x2/person[emailaddress] return $x3/profile/interest`, // §5.1 FLWOR variant
+	`$input/desc::t01[child::t02[child::t03[child::t04]]]`,                                                   // QE1
+	`$input/desc::t01/child::t02[1]/child::t03[child::t04]`,                                                  // QE2
+	`$input/desc::t01[child::t02[child::t03]/child::t04[child::t03]]`,                                        // QE3
+	`$input/desc::t01[desc::t02[desc::t03[desc::t04]]]`,                                                      // QE4
+	`$input/desc::t01/desc::t02[1]/desc::t03[desc::t04]`,                                                     // QE5
+	`$input/desc::t01[desc::t02[desc::t03]/desc::t04[desc::t03]]`,                                            // QE6
+	`/t1[1]/t1[1]/t1[1]/t1[1]/t1[1]`,                                                                         // §5.3, k=5
+	`$d//person[position() = 1]/name`,
+	`for $dot at $pos in $d/child::person where $pos = 1 return $dot`,
+	// Extended fragment.
+	`(1, 2.5, "three", $d/a)`,
+	`1 + 2 * 3 - 4 div 5`,
+	`7 idiv 2 + 7 mod 2`,
+	`-count($d//a) + 1`,
+	`$d//a | $d//b | $d//c`,
+	`if ($d/a) then $d/b else ()`,
+	`some $x in $d//person satisfies $x/name = "John"`,
+	`every $x in $d//a, $y in $x/b satisfies $y/c`,
+	`concat("a", "b", string($d/a))`,
+	`$d//person[string-length(name) > 3]/name`,
+	`sum((1, 2, 3)) * avg((4, 6))`,
+	`$d//a[position() = last() - 1]`,
+}
+
+func TestPaperQueriesParse(t *testing.T) {
+	for _, q := range paperQueries {
+		if _, err := Parse(q); err != nil {
+			t.Errorf("Parse(%s): %v", q, err)
+		}
+	}
+}
+
+func TestParseShapes(t *testing.T) {
+	// $d//person becomes $d/descendant::person (paper footnote 2).
+	e := MustParse(`$d//person`)
+	p, ok := e.(*ast.Path)
+	if !ok {
+		t.Fatalf("got %T", e)
+	}
+	st, ok := p.Right.(*ast.Step)
+	if !ok || st.Axis != xdm.AxisDescendant || st.Test.Name != "person" {
+		t.Fatalf("// not desugared to descendant step: %+v", p.Right)
+	}
+	if _, ok := p.Left.(*ast.VarRef); !ok {
+		t.Fatalf("left = %T", p.Left)
+	}
+
+	// //x from the root.
+	e = MustParse(`//person`)
+	p = e.(*ast.Path)
+	if _, ok := p.Left.(*ast.Root); !ok {
+		t.Fatalf("leading // root = %T", p.Left)
+	}
+
+	// // before an attribute step expands via descendant-or-self::node().
+	e = MustParse(`$d//@id`)
+	p = e.(*ast.Path)
+	if st := p.Right.(*ast.Step); st.Axis != xdm.AxisAttribute {
+		t.Fatalf("right = %+v", st)
+	}
+	inner := p.Left.(*ast.Path)
+	if st := inner.Right.(*ast.Step); st.Axis != xdm.AxisDescendantOrSelf || st.Test.Kind != xdm.TestNode {
+		t.Fatalf("expansion step = %+v", st)
+	}
+
+	// Predicates attach to the step.
+	e = MustParse(`$d/person[emailaddress][2]`)
+	st = e.(*ast.Path).Right.(*ast.Step)
+	if len(st.Preds) != 2 {
+		t.Fatalf("preds = %d", len(st.Preds))
+	}
+	if n, ok := st.Preds[1].(*ast.NumberLit); !ok || !n.IsInt || n.Value != 2 {
+		t.Fatalf("numeric predicate = %#v", st.Preds[1])
+	}
+
+	// FLWOR with at-variable and where.
+	e = MustParse(`for $x at $i in $d/a where $i = 1 return $x`)
+	f := e.(*ast.FLWOR)
+	if len(f.Clauses) != 1 || f.Clauses[0].At != "i" || f.Where == nil {
+		t.Fatalf("FLWOR = %+v", f)
+	}
+
+	// Nested FLWOR in a let binding (Q1c shape): greedy inner return.
+	e = MustParse(`let $x := for $y in $d/person return $y return $x/name`)
+	f = e.(*ast.FLWOR)
+	if len(f.Clauses) != 1 || f.Clauses[0].Kind != ast.LetClause {
+		t.Fatalf("outer FLWOR = %+v", f)
+	}
+	if _, ok := f.Clauses[0].Expr.(*ast.FLWOR); !ok {
+		t.Fatalf("let binding = %T", f.Clauses[0].Expr)
+	}
+	if _, ok := f.Return.(*ast.Path); !ok {
+		t.Fatalf("outer return = %T", f.Return)
+	}
+
+	// Comparisons, and/or precedence: a = 1 and b = 2 or c = 3.
+	e = MustParse(`$a = 1 and $b = 2 or $c = 3`)
+	or := e.(*ast.Or)
+	if _, ok := or.L.(*ast.And); !ok {
+		t.Fatalf("or.L = %T", or.L)
+	}
+
+	// Kind tests.
+	e = MustParse(`$d/child::text()`)
+	if st := e.(*ast.Path).Right.(*ast.Step); st.Test.Kind != xdm.TestText {
+		t.Fatalf("text() test = %+v", st)
+	}
+	e = MustParse(`$d/node()`)
+	if st := e.(*ast.Path).Right.(*ast.Step); st.Test.Kind != xdm.TestNode || st.Axis != xdm.AxisChild {
+		t.Fatalf("node() step = %+v", st)
+	}
+
+	// Absolute root alone and fn:root(.).
+	if _, ok := MustParse(`/`).(*ast.Root); !ok {
+		t.Fatal("bare / not Root")
+	}
+	if _, ok := MustParse(`fn:root(.)`).(*ast.Root); !ok {
+		t.Fatal("fn:root(.) not Root")
+	}
+
+	// Function name prefixes are stripped; ddo aliases resolve.
+	c := MustParse(`fn:count($x)`).(*ast.Call)
+	if c.Name != "count" || len(c.Args) != 1 {
+		t.Fatalf("call = %+v", c)
+	}
+	if MustParse(`fs:distinct-doc-order($x)`).(*ast.Call).Name != "ddo" {
+		t.Fatal("ddo alias not resolved")
+	}
+
+	// Filter on a parenthesized expression.
+	e = MustParse(`(/t1)[1]`)
+	fl, ok := e.(*ast.Filter)
+	if !ok || len(fl.Preds) != 1 {
+		t.Fatalf("filter = %#v", e)
+	}
+
+	// Comments are skipped.
+	if _, err := Parse(`$d (: a (: nested :) comment :) /person`); err != nil {
+		t.Errorf("comment handling: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``, `$`, `$d/`, `$d//`, `for $x return $x`, `for $x in $d`, `let $x = 2 return $x`,
+		`$d[`, `(a, b`, `"unterminated`, `$d/foo::bar`, `!`, `$d/person[]`,
+		`for in $d return 1`, `(: unterminated`, `$d)`,
+	}
+	for _, q := range bad {
+		if _, err := Parse(q); err == nil {
+			t.Errorf("Parse(%q) should fail", q)
+		}
+	}
+}
+
+func TestExtendedSyntaxShapes(t *testing.T) {
+	// Operator precedence: 1 + 2 * 3 parses as 1 + (2 * 3).
+	e := MustParse(`1 + 2 * 3`)
+	add, ok := e.(*ast.Arith)
+	if !ok || add.Op != xdm.OpAdd {
+		t.Fatalf("top = %#v", e)
+	}
+	if mul, ok := add.R.(*ast.Arith); !ok || mul.Op != xdm.OpMul {
+		t.Fatalf("rhs = %#v", add.R)
+	}
+	// Comparison binds looser than arithmetic.
+	e = MustParse(`$a + 1 = 2`)
+	if _, ok := e.(*ast.Compare); !ok {
+		t.Fatalf("top = %T", e)
+	}
+	// Union binds tighter than multiplication operands... it *is* an
+	// operand: count($d/a | $d/b) parses; a | b inside arithmetic too.
+	e = MustParse(`$d/a | $d/b`)
+	if _, ok := e.(*ast.Union); !ok {
+		t.Fatalf("union top = %T", e)
+	}
+	// Unary minus.
+	e = MustParse(`-1`)
+	if _, ok := e.(*ast.Neg); !ok {
+		t.Fatalf("neg = %T", e)
+	}
+	// a-b is a single name; a - b is subtraction.
+	e = MustParse(`$d/a-b`)
+	if st := e.(*ast.Path).Right.(*ast.Step); st.Test.Name != "a-b" {
+		t.Fatalf("hyphenated name = %v", st.Test)
+	}
+	e = MustParse(`$d/a - $d/b`)
+	if ar, ok := e.(*ast.Arith); !ok || ar.Op != xdm.OpSub {
+		t.Fatalf("subtraction = %#v", e)
+	}
+	// Sequences.
+	e = MustParse(`(1, 2)`)
+	if s, ok := e.(*ast.SeqExpr); !ok || len(s.Items) != 2 {
+		t.Fatalf("seq = %#v", e)
+	}
+	// If and quantifiers.
+	if _, ok := MustParse(`if ($d/a) then 1 else 2`).(*ast.IfExpr); !ok {
+		t.Fatal("if expr")
+	}
+	q := MustParse(`some $x in $d/a, $y in $x/b satisfies $y`).(*ast.Quantified)
+	if q.Every || len(q.Bindings) != 2 {
+		t.Fatalf("quantified = %#v", q)
+	}
+	// `if` and `some` as element names still work when not followed by
+	// their grammar anchors.
+	if st := MustParse(`$d/if`).(*ast.Path).Right.(*ast.Step); st.Test.Name != "if" {
+		t.Fatal("if as name test")
+	}
+}
+
+// Printing then reparsing reaches a fixpoint: parse(print(e)) == e for every
+// parsed paper query.
+func TestPrintParseFixpoint(t *testing.T) {
+	for _, q := range paperQueries {
+		e1, err := Parse(q)
+		if err != nil {
+			t.Fatalf("Parse(%s): %v", q, err)
+		}
+		s1 := ast.String(e1)
+		e2, err := Parse(s1)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %s): %v", s1, q, err)
+		}
+		if !reflect.DeepEqual(e1, e2) {
+			t.Errorf("fixpoint failed for %s:\n  printed %s\n  e1=%#v\n  e2=%#v", q, s1, e1, e2)
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package rewrite
+
+import (
+	"xqtp/internal/core"
+	"xqtp/internal/funcs"
+)
+
+// dropDDOPass removes redundant calls to fs:distinct-doc-order. A ddo call
+// is removed when either
+//
+//  1. its argument is provably in document order and duplicate-free
+//     (inferProps), so the call is the identity; or
+//  2. the call sits in a set-tolerant position: an enclosing consumer (an
+//     outer ddo, an effective-boolean-value test, an existential
+//     comparison) only depends on the *set* of nodes produced, and every
+//     operator in between distributes over sets (for-iteration without
+//     positional variables, existential filters). Removing the call can
+//     change the order and multiplicity of the intermediate result but not
+//     the query result.
+//
+// Positional variables make iteration order observable, so they block
+// tolerance exactly as the paper's loop-split restriction describes.
+func dropDDOPass(e core.Expr, env *propEnv) (core.Expr, bool) {
+	d := &ddoDropper{}
+	out := d.rw(e, env, false)
+	return out, d.changed
+}
+
+type ddoDropper struct {
+	changed bool
+}
+
+func (d *ddoDropper) rw(e core.Expr, env *propEnv, tolerant bool) core.Expr {
+	switch x := e.(type) {
+	case *core.Var, *core.StringLit, *core.NumberLit, *core.EmptySeq:
+		return e
+
+	case *core.Step:
+		// A step distributes over the set of its context nodes.
+		return &core.Step{Input: d.rw(x.Input, env, tolerant), Axis: x.Axis, Test: x.Test}
+
+	case *core.Call:
+		return d.rwCall(x, env, tolerant)
+
+	case *core.For:
+		bodyEnv := env.bind(x.Var, allProps)
+		if x.Pos != "" {
+			bodyEnv = bodyEnv.bind(x.Pos, props{atMostOne: true})
+		}
+		// The input is set-tolerant only if the loop has no positional
+		// variable and the loop's own result is consumed set-tolerantly.
+		in := d.rw(x.In, env, tolerant && x.Pos == "")
+		var where core.Expr
+		if x.Where != nil {
+			// A where clause is consumed via its effective boolean value.
+			where = d.rw(x.Where, bodyEnv, true)
+		}
+		ret := d.rw(x.Return, bodyEnv, tolerant)
+		return &core.For{Var: x.Var, Pos: x.Pos, In: in, Where: where, Return: ret}
+
+	case *core.Let:
+		// Conservative: the binding may be used in order-sensitive ways.
+		in := d.rw(x.In, env, false)
+		ret := d.rw(x.Return, env.bind(x.Var, inferProps(in, env)), tolerant)
+		return &core.Let{Var: x.Var, In: in, Return: ret}
+
+	case *core.If:
+		return &core.If{
+			Cond: d.rw(x.Cond, env, true),
+			Then: d.rw(x.Then, env, tolerant),
+			Else: d.rw(x.Else, env, tolerant),
+		}
+
+	case *core.TypeSwitch:
+		out := &core.TypeSwitch{Input: d.rw(x.Input, env, false), DefVar: x.DefVar}
+		for _, c := range x.Cases {
+			c.Body = d.rw(c.Body, env.bind(c.Var, noProps), tolerant)
+			out.Cases = append(out.Cases, c)
+		}
+		out.Default = d.rw(x.Default, env.bind(x.DefVar, noProps), tolerant)
+		return out
+
+	case *core.Compare:
+		// General comparisons are existential over atomized operands:
+		// order and duplicates cannot change the outcome.
+		return &core.Compare{Op: x.Op, L: d.rw(x.L, env, true), R: d.rw(x.R, env, true)}
+	case *core.Sequence:
+		// Concatenation distributes over sets: if the consumer is
+		// set-tolerant, so is each item position.
+		out := &core.Sequence{Items: make([]core.Expr, len(x.Items))}
+		for i, it := range x.Items {
+			out.Items[i] = d.rw(it, env, tolerant)
+		}
+		return out
+	case *core.Arith:
+		// Arithmetic requires singleton operands: removing a ddo can turn
+		// a deduplicated singleton into a cardinality error.
+		return &core.Arith{Op: x.Op, L: d.rw(x.L, env, false), R: d.rw(x.R, env, false)}
+	case *core.And:
+		return &core.And{L: d.rw(x.L, env, true), R: d.rw(x.R, env, true)}
+	case *core.Or:
+		return &core.Or{L: d.rw(x.L, env, true), R: d.rw(x.R, env, true)}
+	}
+	return e
+}
+
+func (d *ddoDropper) rwCall(c *core.Call, env *propEnv, tolerant bool) core.Expr {
+	switch c.Name {
+	case "ddo":
+		arg := d.rw(c.Args[0], env, true)
+		if tolerant {
+			d.changed = true
+			return arg
+		}
+		if p := inferProps(arg, env); p.ord && p.df {
+			d.changed = true
+			return arg
+		}
+		return &core.Call{Name: "ddo", Args: []core.Expr{arg}}
+	}
+	// Per the function table: arguments of duplicate-sensitive functions
+	// (count, string, sum, …) must keep their exact sequences; the boolean
+	// and emptiness functions, and min/max, are set-tolerant.
+	argTolerant := false
+	if sig, ok := funcs.Lookup(c.Name); ok {
+		argTolerant = !sig.DupSensitive
+	}
+	args := make([]core.Expr, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = d.rw(a, env, argTolerant)
+	}
+	return &core.Call{Name: c.Name, Args: args}
+}

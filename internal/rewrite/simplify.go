@@ -1,0 +1,225 @@
+package rewrite
+
+import (
+	"xqtp/internal/core"
+)
+
+// simplifier applies the type rewritings and FLWOR rewritings of paper §3,
+// plus small cleanups (flattening nested ddo calls, stripping redundant
+// fn:boolean wrappers in effective-boolean-value positions).
+type simplifier struct {
+	changed bool
+}
+
+// simplifyPass runs one bottom-up simplification sweep and reports whether
+// anything changed.
+func simplifyPass(e core.Expr, env *typeEnv) (core.Expr, bool) {
+	s := &simplifier{}
+	out := s.rw(e, env)
+	return out, s.changed
+}
+
+func (s *simplifier) rw(e core.Expr, env *typeEnv) core.Expr {
+	switch x := e.(type) {
+	case *core.Var, *core.StringLit, *core.NumberLit, *core.EmptySeq:
+		return e
+
+	case *core.Step:
+		return &core.Step{Input: s.rw(x.Input, env), Axis: x.Axis, Test: x.Test}
+
+	case *core.Let:
+		in := s.rw(x.In, env)
+		ret := s.rw(x.Return, env.bind(x.Var, infer(in, env)))
+		switch core.Usage(ret, x.Var) {
+		case 0:
+			// Unused let binding: the bound expression is pure, drop it.
+			s.changed = true
+			return ret
+		case 1:
+			// Variable inlining.
+			s.changed = true
+			return core.Subst(ret, x.Var, in)
+		}
+		// Always inline trivial bindings (variables and literals).
+		switch in.(type) {
+		case *core.Var, *core.StringLit, *core.NumberLit, *core.EmptySeq:
+			s.changed = true
+			return core.Subst(ret, x.Var, in)
+		}
+		return &core.Let{Var: x.Var, In: in, Return: ret}
+
+	case *core.For:
+		return s.rwFor(x, env)
+
+	case *core.If:
+		cond := s.stripBoolean(s.rw(x.Cond, env))
+		return &core.If{Cond: cond, Then: s.rw(x.Then, env), Else: s.rw(x.Else, env)}
+
+	case *core.TypeSwitch:
+		return s.rwTypeSwitch(x, env)
+
+	case *core.Call:
+		args := make([]core.Expr, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = s.rw(a, env)
+		}
+		out := &core.Call{Name: x.Name, Args: args}
+		switch x.Name {
+		case "ddo":
+			// ddo(ddo(E)) = ddo(E); ddo(()) = ().
+			if inner, ok := args[0].(*core.Call); ok && inner.Name == "ddo" {
+				s.changed = true
+				return inner
+			}
+			if _, ok := args[0].(*core.EmptySeq); ok {
+				s.changed = true
+				return args[0]
+			}
+		case "boolean":
+			// fn:boolean over a boolean-typed singleton is the identity.
+			if ti := infer(args[0], env); ti.t == core.TypeBoolean && ti.exactlyOne {
+				s.changed = true
+				return args[0]
+			}
+		}
+		return out
+
+	case *core.Compare:
+		return &core.Compare{Op: x.Op, L: s.rw(x.L, env), R: s.rw(x.R, env)}
+	case *core.Sequence:
+		// Flatten nested sequences and drop empty items.
+		var items []core.Expr
+		for _, it := range x.Items {
+			ni := s.rw(it, env)
+			switch y := ni.(type) {
+			case *core.EmptySeq:
+				s.changed = true
+			case *core.Sequence:
+				s.changed = true
+				items = append(items, y.Items...)
+			default:
+				items = append(items, ni)
+			}
+		}
+		switch len(items) {
+		case 0:
+			s.changed = true
+			return &core.EmptySeq{}
+		case 1:
+			s.changed = true
+			return items[0]
+		}
+		return &core.Sequence{Items: items}
+	case *core.Arith:
+		return &core.Arith{Op: x.Op, L: s.rw(x.L, env), R: s.rw(x.R, env)}
+	case *core.And:
+		return &core.And{L: s.rw(x.L, env), R: s.rw(x.R, env)}
+	case *core.Or:
+		return &core.Or{L: s.rw(x.L, env), R: s.rw(x.R, env)}
+	}
+	return e
+}
+
+func (s *simplifier) rwFor(f *core.For, env *typeEnv) core.Expr {
+	in := s.rw(f.In, env)
+	bodyEnv := env.bind(f.Var, typeInfo{t: infer(in, env).t, exactlyOne: true})
+	if f.Pos != "" {
+		bodyEnv = bodyEnv.bind(f.Pos, typeInfo{core.TypeNumeric, true})
+	}
+	var where core.Expr
+	if f.Where != nil {
+		// The where clause is an effective-boolean-value position: a
+		// surrounding fn:boolean is redundant.
+		where = s.stripBoolean(s.rw(f.Where, bodyEnv))
+	}
+	ret := s.rw(f.Return, bodyEnv)
+
+	// Remove the positional variable when unused (paper §3, third FLWOR
+	// rule).
+	pos := f.Pos
+	if pos != "" && core.Usage(whereAnd(where, ret), pos) == 0 {
+		s.changed = true
+		pos = ""
+	}
+
+	// for $x in () ... return E  =  ().
+	if _, ok := in.(*core.EmptySeq); ok {
+		s.changed = true
+		return &core.EmptySeq{}
+	}
+
+	// for $x in E return $x  =  E (no where, no position).
+	if where == nil && pos == "" {
+		if v, ok := ret.(*core.Var); ok && v.Name == f.Var {
+			s.changed = true
+			return in
+		}
+	}
+
+	// Iterating over a variable that is statically a single item is just a
+	// substitution (the context variable case).
+	if pos == "" {
+		if v, ok := in.(*core.Var); ok && env.lookup(v.Name).exactlyOne {
+			s.changed = true
+			newRet := core.Subst(ret, f.Var, v)
+			if where == nil {
+				return newRet
+			}
+			return &core.If{Cond: core.Subst(where, f.Var, v), Then: newRet, Else: &core.EmptySeq{}}
+		}
+	}
+
+	return &core.For{Var: f.Var, Pos: pos, In: in, Where: where, Return: ret}
+}
+
+// rwTypeSwitch applies the two type rewritings of paper §3: eliminating
+// cases that can never match and bypassing the typeswitch when a case is
+// sure to match.
+func (s *simplifier) rwTypeSwitch(ts *core.TypeSwitch, env *typeEnv) core.Expr {
+	in := s.rw(ts.Input, env)
+	ti := infer(in, env)
+
+	var cases []core.TSCase
+	for _, c := range ts.Cases {
+		c.Body = s.rw(c.Body, env.bind(c.Var, typeInfo{t: c.Type, exactlyOne: true}))
+		// Rule 1: statEnv ⊢ Type0 ∩ Type1 = ∅ — drop the case.
+		if c.Type == core.TypeNumeric && !canBeNumeric(ti) {
+			s.changed = true
+			continue
+		}
+		// Rule 2: statEnv ⊢ Type0 ⊂ Type1 — the case is sure to match.
+		if c.Type == core.TypeNumeric && mustBeNumeric(ti) && len(cases) == 0 {
+			s.changed = true
+			return &core.Let{Var: c.Var, In: in, Return: c.Body}
+		}
+		cases = append(cases, c)
+	}
+	def := s.rw(ts.Default, env.bind(ts.DefVar, ti))
+	if len(cases) == 0 {
+		// Only the default remains.
+		s.changed = true
+		if ts.DefVar == "" {
+			return def
+		}
+		return &core.Let{Var: ts.DefVar, In: in, Return: def}
+	}
+	return &core.TypeSwitch{Input: in, Cases: cases, DefVar: ts.DefVar, Default: def}
+}
+
+// stripBoolean removes an fn:boolean wrapper in a position whose value is
+// consumed via the effective boolean value anyway.
+func (s *simplifier) stripBoolean(e core.Expr) core.Expr {
+	if c, ok := e.(*core.Call); ok && c.Name == "boolean" && len(c.Args) == 1 {
+		s.changed = true
+		return c.Args[0]
+	}
+	return e
+}
+
+// whereAnd combines where and return for usage counting.
+func whereAnd(where, ret core.Expr) core.Expr {
+	if where == nil {
+		return ret
+	}
+	return &core.And{L: where, R: ret}
+}

@@ -1,0 +1,134 @@
+// Package rewrite implements the core rewritings that normalize queries
+// into TPNF′ (paper §3): type rewritings on typeswitch expressions, FLWOR
+// rewritings, document-order (ddo) rewritings, and loop splitting. Applied
+// to a fixpoint they bring every query whose navigation lies in the
+// tree-pattern fragment into the same canonical form, regardless of the
+// syntax it was originally written in.
+package rewrite
+
+import (
+	"xqtp/internal/core"
+)
+
+// typeInfo is the static typing judgment used by the type rewritings: the
+// content kind of an expression's result plus whether it is statically known
+// to be exactly one item.
+type typeInfo struct {
+	t          core.SeqType
+	exactlyOne bool
+}
+
+var unknownType = typeInfo{t: core.TypeUnknown}
+
+// typeEnv maps in-scope variables to their inferred types.
+type typeEnv struct {
+	name   string
+	info   typeInfo
+	parent *typeEnv
+}
+
+func (e *typeEnv) bind(name string, info typeInfo) *typeEnv {
+	return &typeEnv{name: name, info: info, parent: e}
+}
+
+func (e *typeEnv) lookup(name string) typeInfo {
+	for t := e; t != nil; t = t.parent {
+		if t.name == name {
+			return t.info
+		}
+	}
+	return unknownType
+}
+
+// infer computes the static type of a core expression.
+func infer(e core.Expr, env *typeEnv) typeInfo {
+	switch x := e.(type) {
+	case *core.Var:
+		return env.lookup(x.Name)
+	case *core.NumberLit:
+		return typeInfo{core.TypeNumeric, true}
+	case *core.StringLit:
+		return typeInfo{core.TypeString, true}
+	case *core.EmptySeq:
+		return typeInfo{core.TypeEmpty, false}
+	case *core.Step:
+		return typeInfo{core.TypeNodes, false}
+	case *core.Compare, *core.And, *core.Or:
+		return typeInfo{core.TypeBoolean, true}
+	case *core.Arith:
+		l := infer(x.L, env)
+		r := infer(x.R, env)
+		return typeInfo{core.TypeNumeric, l.exactlyOne && r.exactlyOne}
+	case *core.Sequence:
+		if len(x.Items) == 0 {
+			return typeInfo{core.TypeEmpty, false}
+		}
+		t := infer(x.Items[0], env).t
+		for _, it := range x.Items[1:] {
+			if infer(it, env).t != t {
+				return unknownType
+			}
+		}
+		return typeInfo{t: t, exactlyOne: false}
+	case *core.Call:
+		switch x.Name {
+		case "ddo", "root":
+			return typeInfo{core.TypeNodes, x.Name == "root"}
+		case "count", "string-length", "sum":
+			return typeInfo{core.TypeNumeric, true}
+		case "number":
+			return typeInfo{core.TypeNumeric, true}
+		case "avg", "min", "max":
+			return typeInfo{t: core.TypeNumeric, exactlyOne: false}
+		case "boolean", "not", "empty", "exists", "true", "false", "contains", "starts-with":
+			return typeInfo{core.TypeBoolean, true}
+		case "string", "concat", "normalize-space", "substring", "name":
+			return typeInfo{core.TypeString, true}
+		case "data":
+			return unknownType
+		}
+		return unknownType
+	case *core.For:
+		inInfo := infer(x.In, env)
+		body := env.bind(x.Var, typeInfo{t: inInfo.t, exactlyOne: true})
+		if x.Pos != "" {
+			body = body.bind(x.Pos, typeInfo{core.TypeNumeric, true})
+		}
+		ret := infer(x.Return, body)
+		return typeInfo{t: ret.t, exactlyOne: false}
+	case *core.Let:
+		return infer(x.Return, env.bind(x.Var, infer(x.In, env)))
+	case *core.If:
+		th := infer(x.Then, env)
+		el := infer(x.Else, env)
+		if el.t == core.TypeEmpty {
+			return typeInfo{t: th.t, exactlyOne: false}
+		}
+		if th.t == core.TypeEmpty {
+			return typeInfo{t: el.t, exactlyOne: false}
+		}
+		if th.t == el.t {
+			return typeInfo{t: th.t, exactlyOne: th.exactlyOne && el.exactlyOne}
+		}
+		return unknownType
+	case *core.TypeSwitch:
+		return unknownType
+	}
+	return unknownType
+}
+
+// canBeNumeric reports whether the expression could evaluate to a single
+// numeric item (the condition for a typeswitch numeric() case to fire).
+func canBeNumeric(ti typeInfo) bool {
+	switch ti.t {
+	case core.TypeNodes, core.TypeString, core.TypeBoolean, core.TypeEmpty:
+		return false
+	}
+	return true
+}
+
+// mustBeNumeric reports whether the expression always evaluates to a single
+// numeric item.
+func mustBeNumeric(ti typeInfo) bool {
+	return ti.t == core.TypeNumeric && ti.exactlyOne
+}

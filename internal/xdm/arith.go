@@ -1,0 +1,114 @@
+package xdm
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// ArithOp identifies an arithmetic operator.
+type ArithOp int
+
+// Arithmetic operators.
+const (
+	OpAdd ArithOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpIDiv
+	OpMod
+)
+
+// String renders the operator in XQuery syntax.
+func (op ArithOp) String() string {
+	switch op {
+	case OpAdd:
+		return "+"
+	case OpSub:
+		return "-"
+	case OpMul:
+		return "*"
+	case OpDiv:
+		return "div"
+	case OpIDiv:
+		return "idiv"
+	case OpMod:
+		return "mod"
+	}
+	return "?"
+}
+
+// Arithmetic implements XPath arithmetic: operands are atomized, an empty
+// operand yields the empty sequence, untyped values are cast to numbers;
+// integer arithmetic stays integral except for div.
+func Arithmetic(op ArithOp, lhs, rhs Sequence) (Sequence, error) {
+	l, lEmpty, lInt, err := arithOperand(lhs)
+	if err != nil {
+		return nil, err
+	}
+	r, rEmpty, rInt, err := arithOperand(rhs)
+	if err != nil {
+		return nil, err
+	}
+	if lEmpty || rEmpty {
+		return nil, nil
+	}
+	bothInt := lInt && rInt
+	switch op {
+	case OpAdd:
+		return arithResult(l+r, bothInt), nil
+	case OpSub:
+		return arithResult(l-r, bothInt), nil
+	case OpMul:
+		return arithResult(l*r, bothInt), nil
+	case OpDiv:
+		if r == 0 && bothInt {
+			return nil, fmt.Errorf("xdm: integer division by zero")
+		}
+		return Singleton(Float(l / r)), nil
+	case OpIDiv:
+		if r == 0 {
+			return nil, fmt.Errorf("xdm: integer division by zero")
+		}
+		return Singleton(Integer(int64(math.Trunc(l / r)))), nil
+	case OpMod:
+		if r == 0 {
+			return nil, fmt.Errorf("xdm: modulus by zero")
+		}
+		if bothInt {
+			return Singleton(Integer(int64(l) % int64(r))), nil
+		}
+		return Singleton(Float(math.Mod(l, r))), nil
+	}
+	return nil, fmt.Errorf("xdm: unknown arithmetic operator")
+}
+
+func arithOperand(s Sequence) (val float64, empty, isInt bool, err error) {
+	if len(s) == 0 {
+		return 0, true, false, nil
+	}
+	if len(s) != 1 {
+		return 0, false, false, fmt.Errorf("xdm: arithmetic over a sequence of %d items", len(s))
+	}
+	switch v := Atomize(s[0]).(type) {
+	case Integer:
+		return float64(v), false, true, nil
+	case Float:
+		return float64(v), false, false, nil
+	case String:
+		f, perr := strconv.ParseFloat(strings.TrimSpace(string(v)), 64)
+		if perr != nil {
+			return 0, false, false, fmt.Errorf("xdm: cannot cast %q to a number", string(v))
+		}
+		return f, false, false, nil
+	}
+	return 0, false, false, fmt.Errorf("xdm: arithmetic over %T", s[0])
+}
+
+func arithResult(v float64, isInt bool) Sequence {
+	if isInt && v == math.Trunc(v) {
+		return Singleton(Integer(int64(v)))
+	}
+	return Singleton(Float(v))
+}

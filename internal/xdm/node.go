@@ -1,0 +1,187 @@
+package xdm
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Kind distinguishes the node kinds of the supported XDM fragment.
+type Kind uint8
+
+// Node kinds.
+const (
+	DocumentNode Kind = iota
+	ElementNode
+	AttributeNode
+	TextNode
+)
+
+// String names the node kind.
+func (k Kind) String() string {
+	switch k {
+	case DocumentNode:
+		return "document"
+	case ElementNode:
+		return "element"
+	case AttributeNode:
+		return "attribute"
+	case TextNode:
+		return "text"
+	}
+	return "unknown"
+}
+
+// Node is a node in an XML tree. Nodes have identity (pointer identity) and
+// carry a region encoding assigned by Finalize:
+//
+//	Pre    preorder rank in the document (document node = 0); attributes are
+//	       numbered directly after their owner element, before its children
+//	Size   number of nodes in the subtree below (attributes included), so a
+//	       node n contains node d iff n.Pre < d.Pre && d.Pre <= n.Pre+n.Size
+//	Post   postorder rank
+//	Level  depth (document node = 0)
+type Node struct {
+	Kind     Kind
+	Name     string // element/attribute name
+	Text     string // text content (text and attribute nodes)
+	Parent   *Node
+	Children []*Node // element and text children, in document order
+	Attrs    []*Node // attribute nodes
+
+	Pre, Post, Size, Level int
+	Doc                    *Tree
+}
+
+// Tree is a document: the document node plus the pre-order array of all its
+// nodes (the base table that the index streams are views over).
+type Tree struct {
+	ID    int     // document identifier for cross-document ordering
+	Root  *Node   // the document node
+	Nodes []*Node // all nodes, indexed by Pre
+}
+
+// NewElement returns a detached element node.
+func NewElement(name string) *Node { return &Node{Kind: ElementNode, Name: name} }
+
+// NewText returns a detached text node.
+func NewText(text string) *Node { return &Node{Kind: TextNode, Text: text} }
+
+// NewAttr returns a detached attribute node.
+func NewAttr(name, value string) *Node {
+	return &Node{Kind: AttributeNode, Name: name, Text: value}
+}
+
+// AppendChild appends c (an element or text node) to n and sets its parent.
+func (n *Node) AppendChild(c *Node) *Node {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+	return n
+}
+
+// SetAttr appends an attribute node to n.
+func (n *Node) SetAttr(name, value string) *Node {
+	a := NewAttr(name, value)
+	a.Parent = n
+	n.Attrs = append(n.Attrs, a)
+	return n
+}
+
+var nextTreeID atomic.Int64
+
+// Finalize wraps root (an element) in a document node, assigns region
+// encodings to every node and returns the resulting Tree. The tree must not
+// be mutated afterwards.
+func Finalize(root *Node) *Tree {
+	doc := &Node{Kind: DocumentNode}
+	doc.AppendChild(root)
+	t := &Tree{Root: doc, ID: int(nextTreeID.Add(1))}
+	pre, post := 0, 0
+	var walk func(n *Node, level int)
+	walk = func(n *Node, level int) {
+		n.Pre = pre
+		n.Level = level
+		n.Doc = t
+		pre++
+		t.Nodes = append(t.Nodes, n)
+		for _, a := range n.Attrs {
+			a.Pre = pre
+			a.Level = level + 1
+			a.Doc = t
+			a.Size = 0
+			a.Post = post
+			post++
+			pre++
+			t.Nodes = append(t.Nodes, a)
+		}
+		for _, c := range n.Children {
+			walk(c, level+1)
+		}
+		n.Post = post
+		post++
+		n.Size = pre - n.Pre - 1
+	}
+	walk(doc, 0)
+	return t
+}
+
+// Contains reports whether d is a proper descendant of n (attributes of a
+// contained element count as contained).
+func (n *Node) Contains(d *Node) bool {
+	return n.Doc == d.Doc && n.Pre < d.Pre && d.Pre <= n.Pre+n.Size
+}
+
+// End returns the last preorder rank inside n's region.
+func (n *Node) End() int { return n.Pre + n.Size }
+
+// StringValue returns the XPath string value of the node: the concatenation
+// of all descendant text for documents and elements, the stored text for
+// text and attribute nodes.
+func (n *Node) StringValue() string {
+	switch n.Kind {
+	case TextNode, AttributeNode:
+		return n.Text
+	}
+	var b strings.Builder
+	var walk func(*Node)
+	walk = func(c *Node) {
+		if c.Kind == TextNode {
+			b.WriteString(c.Text)
+			return
+		}
+		for _, ch := range c.Children {
+			walk(ch)
+		}
+	}
+	walk(n)
+	return b.String()
+}
+
+// String renders a short human-readable description of the node.
+func (n *Node) String() string {
+	switch n.Kind {
+	case DocumentNode:
+		return "document{}"
+	case ElementNode:
+		return fmt.Sprintf("<%s>[pre=%d]", n.Name, n.Pre)
+	case AttributeNode:
+		return fmt.Sprintf("@%s=%q", n.Name, n.Text)
+	case TextNode:
+		return fmt.Sprintf("text(%q)", n.Text)
+	}
+	return "node?"
+}
+
+// CountNodes returns the number of nodes in the tree (including the document
+// node and attribute nodes).
+func (t *Tree) CountNodes() int { return len(t.Nodes) }
+
+// DocElem returns the single element child of the document node, or nil.
+func (t *Tree) DocElem() *Node {
+	for _, c := range t.Root.Children {
+		if c.Kind == ElementNode {
+			return c
+		}
+	}
+	return nil
+}

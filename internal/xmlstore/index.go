@@ -1,0 +1,118 @@
+package xmlstore
+
+import (
+	"sort"
+
+	"xqtp/internal/xdm"
+)
+
+// Index holds the access structures built over one document: per-tag element
+// streams and per-name attribute streams, each sorted by preorder rank.
+// These streams are the inputs of the staircase and twig join algorithms —
+// the moral equivalent of an element-tag B-tree in a disk-based store.
+type Index struct {
+	Tree *xdm.Tree
+
+	elemByTag  map[string][]*xdm.Node
+	attrByName map[string][]*xdm.Node
+	allElems   []*xdm.Node
+	allText    []*xdm.Node
+}
+
+// BuildIndex scans the tree once and constructs its index.
+func BuildIndex(t *xdm.Tree) *Index {
+	ix := &Index{
+		Tree:       t,
+		elemByTag:  make(map[string][]*xdm.Node),
+		attrByName: make(map[string][]*xdm.Node),
+	}
+	for _, n := range t.Nodes {
+		switch n.Kind {
+		case xdm.ElementNode:
+			ix.elemByTag[n.Name] = append(ix.elemByTag[n.Name], n)
+			ix.allElems = append(ix.allElems, n)
+		case xdm.AttributeNode:
+			ix.attrByName[n.Name] = append(ix.attrByName[n.Name], n)
+		case xdm.TextNode:
+			ix.allText = append(ix.allText, n)
+		}
+	}
+	return ix
+}
+
+// ElementStream returns the preorder-sorted stream of nodes matching the
+// test on an element axis (child/descendant/...): a single tag stream for a
+// name test, all elements for *, all elements and texts for node(), text
+// nodes for text(). The returned slice is shared and must not be mutated.
+func (ix *Index) ElementStream(test xdm.NodeTest) []*xdm.Node {
+	switch test.Kind {
+	case xdm.TestName:
+		return ix.elemByTag[test.Name]
+	case xdm.TestStar:
+		return ix.allElems
+	case xdm.TestText:
+		return ix.allText
+	case xdm.TestNode:
+		// Merge elements and text nodes by pre (both already sorted).
+		out := make([]*xdm.Node, 0, len(ix.allElems)+len(ix.allText))
+		i, j := 0, 0
+		for i < len(ix.allElems) && j < len(ix.allText) {
+			if ix.allElems[i].Pre < ix.allText[j].Pre {
+				out = append(out, ix.allElems[i])
+				i++
+			} else {
+				out = append(out, ix.allText[j])
+				j++
+			}
+		}
+		out = append(out, ix.allElems[i:]...)
+		out = append(out, ix.allText[j:]...)
+		return out
+	}
+	return nil
+}
+
+// AttributeStream returns the preorder-sorted stream of attribute nodes
+// matching the test on the attribute axis.
+func (ix *Index) AttributeStream(test xdm.NodeTest) []*xdm.Node {
+	switch test.Kind {
+	case xdm.TestName:
+		return ix.attrByName[test.Name]
+	case xdm.TestStar, xdm.TestNode:
+		var out []*xdm.Node
+		for _, s := range ix.attrByName {
+			out = append(out, s...)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Pre < out[j].Pre })
+		return out
+	}
+	return nil
+}
+
+// StreamFor returns the stream matching an axis step (element streams for
+// element axes, attribute streams for the attribute axis).
+func (ix *Index) StreamFor(axis xdm.Axis, test xdm.NodeTest) []*xdm.Node {
+	if axis == xdm.AxisAttribute {
+		return ix.AttributeStream(test)
+	}
+	return ix.ElementStream(test)
+}
+
+// RegionSlice narrows a preorder-sorted stream to the nodes strictly inside
+// the region of ctx (its proper descendants), using binary search. The
+// result aliases the stream.
+func RegionSlice(stream []*xdm.Node, ctx *xdm.Node) []*xdm.Node {
+	lo := sort.Search(len(stream), func(i int) bool { return stream[i].Pre > ctx.Pre })
+	hi := sort.Search(len(stream), func(i int) bool { return stream[i].Pre > ctx.End() })
+	return stream[lo:hi]
+}
+
+// Tags returns the distinct element names in the index.
+func (ix *Index) Tags() []string {
+	out := make([]string, 0, len(ix.elemByTag))
+	for t := range ix.elemByTag {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,130 @@
+// Package xmlstore loads XML documents into the XDM and maintains the index
+// structures (per-tag and per-attribute streams sorted by preorder rank)
+// that the set-at-a-time tree-pattern algorithms scan.
+package xmlstore
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"xqtp/internal/xdm"
+)
+
+// Parse reads an XML document from r and returns its XDM tree. Whitespace-
+// only text between elements is dropped (data-oriented parsing); mixed
+// content text is preserved.
+func Parse(r io.Reader) (*xdm.Tree, error) {
+	dec := xml.NewDecoder(r)
+	var stack []*xdm.Node
+	var root *xdm.Node
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("xmlstore: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			el := xdm.NewElement(t.Name.Local)
+			for _, a := range t.Attr {
+				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+					continue
+				}
+				el.SetAttr(a.Name.Local, a.Value)
+			}
+			if len(stack) == 0 {
+				if root != nil {
+					return nil, fmt.Errorf("xmlstore: multiple root elements")
+				}
+				root = el
+			} else {
+				stack[len(stack)-1].AppendChild(el)
+			}
+			stack = append(stack, el)
+		case xml.EndElement:
+			if len(stack) == 0 {
+				return nil, fmt.Errorf("xmlstore: unbalanced end element %s", t.Name.Local)
+			}
+			stack = stack[:len(stack)-1]
+		case xml.CharData:
+			if len(stack) == 0 {
+				continue
+			}
+			text := string(t)
+			if strings.TrimSpace(text) == "" {
+				continue
+			}
+			stack[len(stack)-1].AppendChild(xdm.NewText(text))
+		}
+	}
+	if root == nil {
+		return nil, fmt.Errorf("xmlstore: no root element")
+	}
+	if len(stack) != 0 {
+		return nil, fmt.Errorf("xmlstore: unexpected end of input inside <%s>", stack[len(stack)-1].Name)
+	}
+	return xdm.Finalize(root), nil
+}
+
+// ParseString parses an XML document held in a string.
+func ParseString(s string) (*xdm.Tree, error) { return Parse(strings.NewReader(s)) }
+
+// Serialize writes the subtree rooted at n as XML to w.
+func Serialize(w io.Writer, n *xdm.Node) error {
+	switch n.Kind {
+	case xdm.DocumentNode:
+		for _, c := range n.Children {
+			if err := Serialize(w, c); err != nil {
+				return err
+			}
+		}
+		return nil
+	case xdm.TextNode:
+		return escapeTo(w, n.Text)
+	case xdm.AttributeNode:
+		_, err := fmt.Fprintf(w, "%s=%q", n.Name, n.Text)
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "<%s", n.Name); err != nil {
+		return err
+	}
+	for _, a := range n.Attrs {
+		if _, err := fmt.Fprintf(w, " %s=%q", a.Name, a.Text); err != nil {
+			return err
+		}
+	}
+	if len(n.Children) == 0 {
+		_, err := io.WriteString(w, "/>")
+		return err
+	}
+	if _, err := io.WriteString(w, ">"); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := Serialize(w, c); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "</%s>", n.Name)
+	return err
+}
+
+// SerializeString renders the subtree rooted at n as an XML string.
+func SerializeString(n *xdm.Node) string {
+	var b strings.Builder
+	if err := Serialize(&b, n); err != nil {
+		return ""
+	}
+	return b.String()
+}
+
+var xmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+
+func escapeTo(w io.Writer, s string) error {
+	_, err := xmlEscaper.WriteString(w, s)
+	return err
+}

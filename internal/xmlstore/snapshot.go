@@ -1,0 +1,200 @@
+package xmlstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xqtp/internal/xdm"
+)
+
+// Snapshot format: a compact binary serialization of a parsed document —
+// the storage substrate for tools that reload the same document repeatedly
+// (region encodings are rebuilt deterministically on load).
+//
+//	magic "XQTS", version u8
+//	name table: uvarint count, then uvarint-length-prefixed strings
+//	node count (uvarint), then per node in preorder:
+//	  kind u8, name index (uvarint, elements/attributes),
+//	  text (uvarint length + bytes, texts/attributes),
+//	  parent preorder rank (uvarint, offset by one; 0 = none)
+const (
+	snapshotMagic   = "XQTS"
+	snapshotVersion = 1
+)
+
+// WriteSnapshot serializes a document.
+func WriteSnapshot(w io.Writer, t *xdm.Tree) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(snapshotVersion); err != nil {
+		return err
+	}
+	// Name table.
+	names := []string{}
+	nameID := map[string]int{}
+	for _, n := range t.Nodes {
+		if n.Kind == xdm.ElementNode || n.Kind == xdm.AttributeNode {
+			if _, ok := nameID[n.Name]; !ok {
+				nameID[n.Name] = len(names)
+				names = append(names, n.Name)
+			}
+		}
+	}
+	writeUvarint(bw, uint64(len(names)))
+	for _, s := range names {
+		writeString(bw, s)
+	}
+	writeUvarint(bw, uint64(len(t.Nodes)))
+	for _, n := range t.Nodes {
+		if err := bw.WriteByte(byte(n.Kind)); err != nil {
+			return err
+		}
+		switch n.Kind {
+		case xdm.ElementNode, xdm.AttributeNode:
+			writeUvarint(bw, uint64(nameID[n.Name]))
+		}
+		switch n.Kind {
+		case xdm.TextNode, xdm.AttributeNode:
+			writeString(bw, n.Text)
+		}
+		parent := uint64(0)
+		if n.Parent != nil {
+			parent = uint64(n.Parent.Pre) + 1
+		}
+		writeUvarint(bw, parent)
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot deserializes a document written by WriteSnapshot and rebuilds
+// its region encodings.
+func ReadSnapshot(r io.Reader) (*xdm.Tree, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("xmlstore: snapshot header: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("xmlstore: not a snapshot file")
+	}
+	version, err := br.ReadByte()
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("xmlstore: unsupported snapshot version %d", version)
+	}
+	nNames, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, nNames)
+	for i := range names {
+		if names[i], err = readString(br); err != nil {
+			return nil, err
+		}
+	}
+	nNodes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nNodes < 2 {
+		return nil, fmt.Errorf("xmlstore: snapshot without a document root")
+	}
+	nodes := make([]*xdm.Node, 0, nNodes)
+	var rootElem *xdm.Node
+	for i := uint64(0); i < nNodes; i++ {
+		kindByte, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		kind := xdm.Kind(kindByte)
+		n := &xdm.Node{Kind: kind}
+		switch kind {
+		case xdm.ElementNode, xdm.AttributeNode:
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if id >= uint64(len(names)) {
+				return nil, fmt.Errorf("xmlstore: snapshot name index out of range")
+			}
+			n.Name = names[id]
+		case xdm.DocumentNode:
+		case xdm.TextNode:
+		default:
+			return nil, fmt.Errorf("xmlstore: snapshot has invalid node kind %d", kindByte)
+		}
+		switch kind {
+		case xdm.TextNode, xdm.AttributeNode:
+			if n.Text, err = readString(br); err != nil {
+				return nil, err
+			}
+		}
+		parentPlus1, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if parentPlus1 == 0 {
+			if kind != xdm.DocumentNode || i != 0 {
+				return nil, fmt.Errorf("xmlstore: snapshot node %d has no parent", i)
+			}
+		} else {
+			if parentPlus1 > uint64(len(nodes)) {
+				return nil, fmt.Errorf("xmlstore: snapshot parent reference out of order")
+			}
+			parent := nodes[parentPlus1-1]
+			switch kind {
+			case xdm.AttributeNode:
+				n.Parent = parent
+				parent.Attrs = append(parent.Attrs, n)
+			case xdm.DocumentNode:
+				return nil, fmt.Errorf("xmlstore: nested document node")
+			default:
+				n.Parent = parent
+				parent.Children = append(parent.Children, n)
+				if kind == xdm.ElementNode && parent.Kind == xdm.DocumentNode && rootElem == nil {
+					rootElem = n
+				}
+			}
+		}
+		nodes = append(nodes, n)
+	}
+	if rootElem == nil {
+		return nil, fmt.Errorf("xmlstore: snapshot without a root element")
+	}
+	// Rebuild the region encodings from scratch (Finalize re-wraps the
+	// root element in a fresh document node).
+	rootElem.Parent = nil
+	return xdm.Finalize(rootElem), nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeString(w *bufio.Writer, s string) {
+	writeUvarint(w, uint64(len(s)))
+	w.WriteString(s)
+}
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<30 {
+		return "", fmt.Errorf("xmlstore: snapshot string too large")
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

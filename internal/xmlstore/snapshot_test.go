@@ -1,0 +1,93 @@
+package xmlstore
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"xqtp/internal/xdm"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	tr, err := ParseString(`<a id="1"><b x="y"><c>hello</c></b><c>world</c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	tr2, err := ReadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr2.CountNodes() != tr.CountNodes() {
+		t.Fatalf("node count %d != %d", tr2.CountNodes(), tr.CountNodes())
+	}
+	if SerializeString(tr2.Root) != SerializeString(tr.Root) {
+		t.Errorf("serialization differs:\n  %s\n  %s",
+			SerializeString(tr.Root), SerializeString(tr2.Root))
+	}
+	// Region encodings match node for node.
+	for i := range tr.Nodes {
+		a, b := tr.Nodes[i], tr2.Nodes[i]
+		if a.Kind != b.Kind || a.Name != b.Name || a.Text != b.Text ||
+			a.Pre != b.Pre || a.Post != b.Post || a.Size != b.Size || a.Level != b.Level {
+			t.Fatalf("node %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+}
+
+func TestSnapshotErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XQ"),
+		[]byte("NOPE\x01"),
+		[]byte("XQTS\x63"),         // bad version
+		[]byte("XQTS\x01\x01"),     // truncated name table
+		[]byte("XQTS\x01\x00\x00"), // zero nodes
+	}
+	for _, c := range cases {
+		if _, err := ReadSnapshot(bytes.NewReader(c)); err == nil {
+			t.Errorf("ReadSnapshot(%q) should fail", c)
+		}
+	}
+}
+
+// Property: snapshot round trips preserve random documents exactly.
+func TestSnapshotProperty(t *testing.T) {
+	tags := []string{"a", "b", "c-long-name", "d"}
+	check := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		root := xdm.NewElement("root")
+		nodes := []*xdm.Node{root}
+		for i := 0; i < 5+rng.Intn(80); i++ {
+			parent := nodes[rng.Intn(len(nodes))]
+			el := xdm.NewElement(tags[rng.Intn(len(tags))])
+			if rng.Intn(3) == 0 {
+				el.SetAttr("k", strings.Repeat("v", rng.Intn(5)))
+			}
+			if rng.Intn(4) == 0 {
+				el.AppendChild(xdm.NewText("text & <stuff>"))
+			}
+			parent.AppendChild(el)
+			nodes = append(nodes, el)
+		}
+		tr := xdm.Finalize(root)
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, tr); err != nil {
+			return false
+		}
+		tr2, err := ReadSnapshot(&buf)
+		if err != nil {
+			return false
+		}
+		return SerializeString(tr2.Root) == SerializeString(tr.Root) &&
+			tr2.CountNodes() == tr.CountNodes()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,129 @@
+package xmlstore
+
+import (
+	"strings"
+	"testing"
+
+	"xqtp/internal/xdm"
+)
+
+const sampleXML = `<a id="1">
+  <b><c>hello</c></b>
+  <b x="y"><d/></b>
+  <c>world &amp; more</c>
+</a>`
+
+func TestParseRoundTrip(t *testing.T) {
+	tr, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.DocElem()
+	if a.Name != "a" || len(a.Attrs) != 1 || a.Attrs[0].Text != "1" {
+		t.Fatalf("root parsed wrong: %v", a)
+	}
+	if got := len(xdm.Step(a, xdm.AxisChild, xdm.StarTest())); got != 3 {
+		t.Fatalf("root has %d element children, want 3", got)
+	}
+	cs := xdm.Step(a, xdm.AxisChild, xdm.NameTest("c"))
+	if len(cs) != 1 || cs[0].StringValue() != "world & more" {
+		t.Fatalf("entity not decoded: %v", cs)
+	}
+	// Round trip: serialize and reparse; same structure.
+	out := SerializeString(tr.Root)
+	tr2, err := ParseString(out)
+	if err != nil {
+		t.Fatalf("reparse of %q: %v", out, err)
+	}
+	if tr2.CountNodes() != tr.CountNodes() {
+		t.Errorf("round trip node count %d != %d (serialized: %s)", tr2.CountNodes(), tr.CountNodes(), out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, bad := range []string{"", "<a><b></a>", "<a/><b/>", "text only"} {
+		if _, err := ParseString(bad); err == nil {
+			t.Errorf("ParseString(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseMixedAndWhitespace(t *testing.T) {
+	tr, err := ParseString("<a>  \n  <b>x</b>mid<b>y</b>\t</a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tr.DocElem()
+	// Whitespace-only runs dropped, "mid" preserved.
+	texts := xdm.Step(a, xdm.AxisChild, xdm.TextTest())
+	if len(texts) != 1 || texts[0].Text != "mid" {
+		t.Errorf("mixed content handling wrong: %v", texts)
+	}
+	if a.StringValue() != "xmidy" {
+		t.Errorf("string value = %q", a.StringValue())
+	}
+}
+
+func TestIndexStreams(t *testing.T) {
+	tr, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildIndex(tr)
+	bs := ix.ElementStream(xdm.NameTest("b"))
+	if len(bs) != 2 {
+		t.Fatalf("b stream has %d entries", len(bs))
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i-1].Pre >= bs[i].Pre {
+			t.Fatal("stream not sorted by pre")
+		}
+	}
+	if got := len(ix.ElementStream(xdm.StarTest())); got != 6 {
+		t.Errorf("element stream * has %d entries, want 6", got)
+	}
+	if got := len(ix.ElementStream(xdm.TextTest())); got != 2 {
+		t.Errorf("text stream has %d entries, want 2", got)
+	}
+	if got := len(ix.AttributeStream(xdm.NameTest("id"))); got != 1 {
+		t.Errorf("@id stream has %d entries, want 1", got)
+	}
+	if got := len(ix.AttributeStream(xdm.StarTest())); got != 2 {
+		t.Errorf("@* stream has %d entries, want 2", got)
+	}
+	node := ix.ElementStream(xdm.AnyNodeTest())
+	if len(node) != 8 { // 6 elements + 2 texts
+		t.Errorf("node() stream has %d entries, want 8", len(node))
+	}
+	for i := 1; i < len(node); i++ {
+		if node[i-1].Pre >= node[i].Pre {
+			t.Fatal("node() stream not merged in pre order")
+		}
+	}
+	if tags := ix.Tags(); strings.Join(tags, ",") != "a,b,c,d" {
+		t.Errorf("Tags = %v", tags)
+	}
+}
+
+func TestRegionSlice(t *testing.T) {
+	tr, err := ParseString(sampleXML)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := BuildIndex(tr)
+	a := tr.DocElem()
+	bs := xdm.Step(a, xdm.AxisChild, xdm.NameTest("b"))
+	// c nodes inside the first b.
+	csInB := RegionSlice(ix.ElementStream(xdm.NameTest("c")), bs[0])
+	if len(csInB) != 1 || csInB[0].StringValue() != "hello" {
+		t.Errorf("RegionSlice(c, b1) = %v", csInB)
+	}
+	// No c inside the second b.
+	if got := RegionSlice(ix.ElementStream(xdm.NameTest("c")), bs[1]); len(got) != 0 {
+		t.Errorf("RegionSlice(c, b2) = %v", got)
+	}
+	// All c inside a.
+	if got := RegionSlice(ix.ElementStream(xdm.NameTest("c")), a); len(got) != 2 {
+		t.Errorf("RegionSlice(c, a) = %v", got)
+	}
+}

@@ -1,0 +1,157 @@
+package xqtp
+
+import (
+	"fmt"
+	"strings"
+)
+
+// PaperQuery is a named query from the paper.
+type PaperQuery struct {
+	Name  string
+	Query string
+}
+
+// Q1a, Q1b, Q1c, Q2, Q3, Q4, Q5 — the motivating queries of Fig. 1.
+var Figure1Queries = []PaperQuery{
+	{"Q1a", `$d//person[emailaddress]/name`},
+	{"Q1b", `(for $x in $d//person[emailaddress] return $x)/name`},
+	{"Q1c", `let $x := for $y in $d//person where $y/emailaddress return $y return $x/name`},
+	{"Q2", `$d//person[name = "John"]/emailaddress`},
+	{"Q3", `$d//person[1]/name`},
+	{"Q4", `$d//person[name = "John"]/emailaddress[1]`},
+	{"Q5", `for $x in $d//person[emailaddress] return $x/name`},
+}
+
+// QEQueries are the synthetic queries of Fig. 5 (Table 1's workload). QE1–3
+// use child axes below the first descendant step; QE4–6 are the same
+// shapes with all axes replaced by descendant.
+var QEQueries = []PaperQuery{
+	{"QE1", `$input/desc::t01[child::t02[child::t03[child::t04]]]`},
+	{"QE2", `$input/desc::t01/child::t02[1]/child::t03[child::t04]`},
+	{"QE3", `$input/desc::t01[child::t02[child::t03]/child::t04[child::t03]]`},
+	{"QE4", `$input/desc::t01[desc::t02[desc::t03[desc::t04]]]`},
+	{"QE5", `$input/desc::t01/desc::t02[1]/desc::t03[desc::t04]`},
+	{"QE6", `$input/desc::t01[desc::t02[desc::t03]/desc::t04[desc::t03]]`},
+}
+
+// Fig4Query is the §5.1 path expression evaluated in Fig. 4.
+const Fig4Query = `$input/site/people/person[emailaddress]/profile/interest`
+
+// XMarkQueryPair is an XMark-like path query in its child form and the
+// variant where child steps are replaced by descendant steps without
+// changing the result (Fig. 6).
+type XMarkQueryPair struct {
+	Name       string
+	Child      string
+	Descendant string
+}
+
+// Figure6Queries are the XMark query pairs of Fig. 6.
+var Figure6Queries = []XMarkQueryPair{
+	{
+		"XM-email",
+		`$input/site/people/person[emailaddress]/name`,
+		`$input//person[emailaddress]//name`,
+	},
+	{
+		"XM-increase",
+		`$input/site/open_auctions/open_auction/bidder/increase`,
+		`$input//open_auction//increase`,
+	},
+	{
+		"XM-price",
+		`$input/site/closed_auctions/closed_auction/price`,
+		`$input//closed_auction//price`,
+	},
+	{
+		"XM-interest",
+		`$input/site/people/person/profile/interest`,
+		`$input//person//interest`,
+	},
+}
+
+// Section53Query builds the §5.3 chain (/t1[1])^k.
+func Section53Query(k int) string {
+	var b strings.Builder
+	for i := 0; i < k; i++ {
+		b.WriteString("/t1[1]")
+	}
+	return b.String()
+}
+
+// Fig4Variants generates the syntactic variants of Fig4Query used in the
+// §5.1 validation: every way of replacing / operators by for clauses
+// (split masks over the four step boundaries), optionally expressing the
+// predicate as a where clause. The paper used 20 variants; the full
+// enumeration yields 24.
+func Fig4Variants() []string {
+	return PathVariants("$input",
+		[]string{"site", "people", "person", "profile", "interest"},
+		2, "emailaddress")
+}
+
+// PathVariants mechanically enumerates the syntactic variants of the path
+// root/steps[0]/…/steps[predStep][pred]/…: every subset of step boundaries
+// becomes a for clause, and whenever a variable is bound exactly at the
+// predicate step the predicate is additionally expressed as a where clause.
+// This is the §5.1 variant generator, applicable to any child-step family.
+func PathVariants(root string, steps []string, predStep int, pred string) []string {
+	var out []string
+	for mask := 0; mask < 1<<(len(steps)-1); mask++ {
+		out = append(out, buildVariant(root, steps, predStep, pred, mask, false))
+		if pred != "" && mask&(1<<predStep) != 0 {
+			out = append(out, buildVariant(root, steps, predStep, pred, mask, true))
+		}
+	}
+	return out
+}
+
+// buildVariant renders one variant: mask bit i set means "break after step
+// i" (bind a fresh variable there).
+func buildVariant(root string, steps []string, predStep int, pred string, mask int, predAsWhere bool) string {
+	type segment struct {
+		path    []string
+		predVar bool // segment ends at the predicate step
+	}
+	var segs []segment
+	cur := segment{}
+	for i, s := range steps {
+		step := s
+		if i == predStep && pred != "" && !predAsWhere {
+			step = s + "[" + pred + "]"
+		}
+		cur.path = append(cur.path, step)
+		if i == predStep {
+			cur.predVar = true
+		}
+		if i < len(steps)-1 && mask&(1<<i) != 0 {
+			segs = append(segs, cur)
+			cur = segment{}
+		}
+	}
+	segs = append(segs, cur)
+
+	if len(segs) == 1 {
+		return root + "/" + strings.Join(segs[0].path, "/")
+	}
+	var b strings.Builder
+	b.WriteString("for ")
+	prev := root
+	whereVar := ""
+	for i := 0; i < len(segs)-1; i++ {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		v := fmt.Sprintf("$x%d", i+1)
+		fmt.Fprintf(&b, "%s in %s/%s", v, prev, strings.Join(segs[i].path, "/"))
+		if segs[i].predVar && predAsWhere {
+			whereVar = v
+		}
+		prev = v
+	}
+	if predAsWhere && whereVar != "" {
+		fmt.Fprintf(&b, " where %s/%s", whereVar, pred)
+	}
+	fmt.Fprintf(&b, " return %s/%s", prev, strings.Join(segs[len(segs)-1].path, "/"))
+	return b.String()
+}

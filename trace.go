@@ -1,0 +1,106 @@
+package xqtp
+
+import (
+	"fmt"
+	"strings"
+
+	"xqtp/internal/algebra"
+	"xqtp/internal/compile"
+	"xqtp/internal/core"
+	"xqtp/internal/optimize"
+	"xqtp/internal/parser"
+	"xqtp/internal/rewrite"
+)
+
+// TraceStep is one intermediate state of the compilation pipeline.
+type TraceStep struct {
+	Phase string // which pass produced this state
+	Repr  string // the expression/plan after the pass
+}
+
+// Trace records the evolution of a query through the rewriting and
+// optimization phases — the paper's worked example (Q1a-n → Q1-tp → P1 →
+// … → P5), step by step.
+type Trace struct {
+	Source    string
+	Core      string      // after normalization
+	CoreSteps []TraceStep // after each core rewriting pass that changed it
+	Plan      string      // after compilation
+	PlanSteps []TraceStep // after each algebraic rule application
+}
+
+// PrepareTraced compiles a query like Prepare while recording every
+// intermediate rewriting state.
+func PrepareTraced(query string) (*Query, *Trace, error) {
+	tr := &Trace{Source: query}
+	surface, err := parser.Parse(query)
+	if err != nil {
+		return nil, nil, err
+	}
+	normalized, err := core.Normalize(surface, "dot")
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.Core = core.String(normalized)
+	free := freeVariables(normalized)
+	singletons := map[string]bool{}
+	for _, v := range free {
+		singletons[v] = true
+	}
+	rewritten := rewrite.Rewrite(normalized, rewrite.Options{
+		SingletonVars: singletons,
+		Trace: func(phase string, e core.Expr) {
+			tr.CoreSteps = append(tr.CoreSteps, TraceStep{Phase: phase, Repr: core.String(e)})
+		},
+	})
+	plan, err := compile.Compile(rewritten)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.Plan = algebra.String(plan)
+	optimized := optimize.Optimize(plan, optimize.Options{
+		SingletonVars: singletons,
+		Trace: func(step int, p algebra.Expr) {
+			tr.PlanSteps = append(tr.PlanSteps, TraceStep{
+				Phase: fmt.Sprintf("rule %d", step),
+				Repr:  algebra.String(p),
+			})
+		},
+	})
+	q := &Query{
+		Source:    query,
+		surface:   surface,
+		coreExpr:  normalized,
+		rewritten: rewritten,
+		plan:      plan,
+		optimized: optimized,
+		freeVars:  free,
+	}
+	return q, tr, nil
+}
+
+// String renders the trace, skipping consecutive identical states.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "query: %s\n\nnormalized core:\n  %s\n", tr.Source, tr.Core)
+	prev := tr.Core
+	fmt.Fprintf(&b, "\ncore rewriting:\n")
+	for _, s := range tr.CoreSteps {
+		if s.Repr == prev {
+			continue
+		}
+		prev = s.Repr
+		fmt.Fprintf(&b, "  [%-12s] %s\n", s.Phase, s.Repr)
+	}
+	fmt.Fprintf(&b, "\ncompiled plan:\n  %s\n", tr.Plan)
+	fmt.Fprintf(&b, "\nalgebraic optimization:\n")
+	prev = tr.Plan
+	for _, s := range tr.PlanSteps {
+		if s.Repr == prev {
+			continue
+		}
+		prev = s.Repr
+		fmt.Fprintf(&b, "  [%-8s] %s\n", s.Phase, s.Repr)
+	}
+	return b.String()
+}

@@ -1,0 +1,35 @@
+package xqtp
+
+// XMarkQueries approximates the XMark benchmark queries that fall into the
+// supported XQuery fragment, phrased against the auction-site documents of
+// NewXMarkDocument. They exercise the engine the way the benchmark's
+// workload does: point lookups, twig predicates, FLWOR joins with value
+// comparisons, aggregation, and quantifiers.
+var XMarkQueries = []PaperQuery{
+	// XMark Q1: the name of the person with a given id (value predicate on
+	// an attribute).
+	{"XQ1", `for $b in $input/site/people/person[@id = "person0"] return $b/name`},
+	// XMark Q2-like: the first bid (increase) of each open auction.
+	{"XQ2", `for $b in $input/site/open_auctions/open_auction return $b/bidder[1]/increase`},
+	// XMark Q4-like: auctions with at least two bidders.
+	{"XQ4", `for $b in $input/site/open_auctions/open_auction where $b/bidder[2] return $b/itemref`},
+	// XMark Q5-like: number of sales above a threshold.
+	{"XQ5", `count(for $i in $input/site/closed_auctions/closed_auction where $i/price >= 40 return $i/price)`},
+	// XMark Q6: number of items listed anywhere.
+	{"XQ6", `count($input/site/regions//item)`},
+	// XMark Q7-like: all pieces of prose (simplified to names+descriptions).
+	{"XQ7", `count($input//description) + count($input//name) + count($input//emailaddress)`},
+	// XMark Q8-like: for each person, the number of auctions they bought
+	// (join on attribute values).
+	{"XQ8", `count(for $p in $input/site/people/person, $t in $input/site/closed_auctions/closed_auction[buyer/@person = $p/@id] return $t)`},
+	// XMark Q13-like: items of a region with their descriptions.
+	{"XQ13", `$input/site/regions/australia/item[description]/name`},
+	// XMark Q14-like: items whose description mentions a word.
+	{"XQ14", `for $i in $input//item where contains($i/description, "condition") return $i/name`},
+	// XMark Q17-like: people without an email address.
+	{"XQ17", `for $p in $input/site/people/person where empty($p/emailaddress) return $p/name`},
+	// XMark Q19-like: names of items with a quantity, anywhere.
+	{"XQ19", `$input/site/regions//item[quantity]/name`},
+	// XMark Q20-like: income-based partitioning via quantifiers.
+	{"XQ20", `count(for $p in $input/site/people/person where some $i in $p/profile satisfies $i/@income > 50000 return $p)`},
+}

@@ -1,0 +1,61 @@
+package xqtp
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every XMark catalog query compiles, runs under all algorithms with
+// identical results, and agrees with the standard (unrewritten) engine.
+func TestXMarkCatalog(t *testing.T) {
+	doc := NewXMarkDocument(13, 150)
+	for _, pq := range XMarkQueries {
+		q, err := Prepare(pq.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", pq.Name, err)
+		}
+		baseline, err := PrepareWithOptions(pq.Query, StandardEngineOptions)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", pq.Name, err)
+		}
+		want, err := baseline.Run(doc, NestedLoop)
+		if err != nil {
+			t.Fatalf("%s baseline run: %v", pq.Name, err)
+		}
+		wantS := strings.Join(values(t, want), "|")
+		for _, alg := range []Algorithm{NestedLoop, Twig, Staircase, Auto} {
+			got, err := q.Run(doc, alg)
+			if err != nil {
+				t.Fatalf("%s/%v: %v", pq.Name, alg, err)
+			}
+			if gotS := strings.Join(values(t, got), "|"); gotS != wantS {
+				t.Errorf("%s/%v: results differ from baseline\n want %.120s\n got  %.120s",
+					pq.Name, alg, wantS, gotS)
+			}
+		}
+	}
+}
+
+// A few XMark queries have known cardinalities on the seeded generator
+// output; pin them so generator changes are visible.
+func TestXMarkCatalogSanity(t *testing.T) {
+	doc := NewXMarkDocument(13, 150)
+	// XQ1: exactly one person has id person0.
+	q := MustPrepare(XMarkQueries[0].Query)
+	items, err := q.Run(doc, Staircase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 1 {
+		t.Errorf("XQ1 returned %d items", len(items))
+	}
+	// XQ6: the item count matches the generator's 4×people.
+	q = MustPrepare(XMarkQueries[4].Query)
+	items, err = q.Run(doc, Staircase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := values(t, items)[0]; got != "600" {
+		t.Errorf("XQ6 = %s, want 600", got)
+	}
+}

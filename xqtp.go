@@ -1,0 +1,382 @@
+// Package xqtp is an XQuery-subset compiler and evaluation engine that
+// reproduces "Put a Tree Pattern in Your Algebra" (Michiels, Mihăilă,
+// Siméon; ICDE 2007).
+//
+// Queries are compiled through the paper's pipeline: parsing, normalization
+// into the XQuery Core, rewriting into TPNF′ (type rewritings, FLWOR
+// rewritings, document-order rewritings, loop splitting), compilation into
+// a tuple algebra, and algebraic optimization that detects maximal
+// TupleTreePattern operators. Detected patterns evaluate under one of three
+// physical algorithms: nested-loop navigation, staircase join, or holistic
+// twig join.
+//
+// Quick start:
+//
+//	doc, _ := xqtp.LoadXMLString("<doc><person><emailaddress/><name>Ann</name></person></doc>")
+//	q, _ := xqtp.Prepare(`$d//person[emailaddress]/name`)
+//	items, _ := q.Run(doc, xqtp.Staircase)
+package xqtp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"xqtp/internal/algebra"
+	"xqtp/internal/ast"
+	"xqtp/internal/compile"
+	"xqtp/internal/core"
+	"xqtp/internal/exec"
+	"xqtp/internal/join"
+	"xqtp/internal/optimize"
+	"xqtp/internal/parser"
+	"xqtp/internal/rewrite"
+	"xqtp/internal/xdm"
+	"xqtp/internal/xmlstore"
+)
+
+// Item is a single XDM item: a *Node or an atomic value.
+type Item = xdm.Item
+
+// Node is an XML tree node with its region encoding.
+type Node = xdm.Node
+
+// Sequence is an ordered sequence of items.
+type Sequence = xdm.Sequence
+
+// Atomic item types, for binding variables and inspecting results.
+type (
+	// String is an xs:string item.
+	String = xdm.String
+	// Integer is an xs:integer item.
+	Integer = xdm.Integer
+	// Float is an xs:double item.
+	Float = xdm.Float
+	// Bool is an xs:boolean item.
+	Bool = xdm.Bool
+)
+
+// Algorithm selects the physical tree-pattern algorithm.
+type Algorithm = join.Algorithm
+
+// The physical tree-pattern algorithms of the paper's evaluation, plus the
+// cost-based chooser the paper's conclusion calls for.
+const (
+	NestedLoop = join.NestedLoop // NLJoin: navigational, cursor-style
+	Staircase  = join.Staircase  // SCJoin: staircase join over region-encoded streams
+	Twig       = join.Twig       // TwigJoin: holistic twig join
+	Auto       = join.Auto       // per-pattern cost-based choice among the three
+	Streaming  = join.Streaming  // single-scan stack automaton for linear paths
+)
+
+// Algorithms lists all physical algorithms, in the paper's table order
+// (NL, TJ, SC).
+var Algorithms = []Algorithm{NestedLoop, Twig, Staircase}
+
+// Document is a loaded XML document with its index structures.
+type Document struct {
+	tree  *xdm.Tree
+	index *xmlstore.Index
+}
+
+// LoadXML parses an XML document and builds its tag-stream index.
+func LoadXML(r io.Reader) (*Document, error) {
+	t, err := xmlstore.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return newDocument(t), nil
+}
+
+// LoadXMLString parses an XML document held in a string.
+func LoadXMLString(s string) (*Document, error) {
+	return LoadXML(strings.NewReader(s))
+}
+
+// newDocument wraps an already-built tree (used by the generators and the
+// benchmark harness).
+func newDocument(t *xdm.Tree) *Document {
+	return &Document{tree: t, index: xmlstore.BuildIndex(t)}
+}
+
+// Root returns the document node.
+func (d *Document) Root() *Node { return d.tree.Root }
+
+// NumNodes returns the number of nodes in the document (including the
+// document node and attributes).
+func (d *Document) NumNodes() int { return d.tree.CountNodes() }
+
+// SizeBytes returns the serialized size of the document.
+func (d *Document) SizeBytes() int {
+	return len(xmlstore.SerializeString(d.tree.Root))
+}
+
+// XML serializes the document.
+func (d *Document) XML() string { return xmlstore.SerializeString(d.tree.Root) }
+
+// SaveSnapshot writes the document in the compact binary snapshot format,
+// which reloads much faster than reparsing XML.
+func (d *Document) SaveSnapshot(w io.Writer) error {
+	return xmlstore.WriteSnapshot(w, d.tree)
+}
+
+// LoadSnapshot reads a document written by SaveSnapshot and rebuilds its
+// index.
+func LoadSnapshot(r io.Reader) (*Document, error) {
+	t, err := xmlstore.ReadSnapshot(r)
+	if err != nil {
+		return nil, err
+	}
+	return newDocument(t), nil
+}
+
+// CompileOptions configures query preparation.
+type CompileOptions struct {
+	// TreePatterns enables the algebraic tree-pattern detection (Fig. 3
+	// rules). Disabling it yields plans that keep their navigational maps.
+	TreePatterns bool
+	// Rewrites enables the TPNF′ core rewritings (§3). Disabling both
+	// Rewrites and TreePatterns reproduces the paper's "standard engine"
+	// baseline, whose plans depend on the syntactic form of the query.
+	Rewrites bool
+	// ContextVar names the variable bound to the context item for "." and
+	// absolute paths. Defaults to "dot".
+	ContextVar string
+
+	// Ablation knobs (benchmarks measure the value of individual design
+	// choices; leave false for normal use).
+	DisablePositionalFirst bool // keep MapIndex/Select instead of Head (§5.3 early exit)
+	DisableBulkConversion  bool // force the per-tuple fallback instead of rule (b)
+}
+
+// DefaultOptions is the configuration used by Prepare.
+var DefaultOptions = CompileOptions{TreePatterns: true, Rewrites: true, ContextVar: "dot"}
+
+// StandardEngineOptions reproduces the paper's baseline engine: no core
+// rewritings, no tree-pattern detection — nested maps with navigational
+// TreeJoins and explicit ddo calls.
+var StandardEngineOptions = CompileOptions{TreePatterns: false, Rewrites: false, ContextVar: "dot"}
+
+// Query is a compiled query, retaining every intermediate compilation phase
+// for inspection.
+type Query struct {
+	Source string
+
+	surface   ast.Expr
+	coreExpr  core.Expr // normalized
+	rewritten core.Expr // TPNF′
+	plan      algebra.Expr
+	optimized algebra.Expr
+	freeVars  []string
+}
+
+// Prepare compiles a query with the default options.
+func Prepare(query string) (*Query, error) {
+	return PrepareWithOptions(query, DefaultOptions)
+}
+
+// PrepareWithOptions compiles a query through all phases of Fig. 2.
+func PrepareWithOptions(query string, opts CompileOptions) (*Query, error) {
+	if opts.ContextVar == "" {
+		opts.ContextVar = "dot"
+	}
+	surface, err := parser.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	normalized, err := core.Normalize(surface, opts.ContextVar)
+	if err != nil {
+		return nil, err
+	}
+	free := freeVariables(normalized)
+	singletons := map[string]bool{}
+	for _, v := range free {
+		// Run binds every free variable to a single node, so the
+		// rewriter's singleton assumption is discharged by construction.
+		singletons[v] = true
+	}
+	rewritten := normalized
+	if opts.Rewrites {
+		rewritten = rewrite.Rewrite(normalized, rewrite.Options{SingletonVars: singletons})
+	}
+	plan, err := compile.Compile(rewritten)
+	if err != nil {
+		return nil, err
+	}
+	q := &Query{
+		Source:    query,
+		surface:   surface,
+		coreExpr:  normalized,
+		rewritten: rewritten,
+		plan:      plan,
+		optimized: plan,
+		freeVars:  free,
+	}
+	if opts.TreePatterns {
+		q.optimized = optimize.Optimize(plan, optimize.Options{
+			SingletonVars:          singletons,
+			DisablePositionalFirst: opts.DisablePositionalFirst,
+			DisableBulkConversion:  opts.DisableBulkConversion,
+		})
+	}
+	return q, nil
+}
+
+// MustPrepare compiles a query and panics on error (for fixed query sets).
+func MustPrepare(query string) *Query {
+	q, err := Prepare(query)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Run evaluates the query against a document with the given algorithm.
+// Every free variable of the query ($d, $input, …) and the context item are
+// bound to the document node.
+func (q *Query) Run(doc *Document, alg Algorithm) (Sequence, error) {
+	vars := map[string]xdm.Sequence{}
+	for _, v := range q.freeVars {
+		vars[v] = xdm.Singleton(doc.tree.Root)
+	}
+	en := exec.NewEngine(alg, vars)
+	en.UseIndex(doc.index)
+	return en.Run(q.optimized)
+}
+
+// RunParallel evaluates like Run but allows the TupleTreePattern operator
+// to match its context nodes on up to workers goroutines. Results are
+// identical to the sequential evaluation.
+func (q *Query) RunParallel(doc *Document, alg Algorithm, workers int) (Sequence, error) {
+	vars := map[string]xdm.Sequence{}
+	for _, v := range q.freeVars {
+		vars[v] = xdm.Singleton(doc.tree.Root)
+	}
+	en := exec.NewEngine(alg, vars)
+	en.Parallel = workers
+	en.UseIndex(doc.index)
+	return en.Run(q.optimized)
+}
+
+// RunWithVars evaluates the query with explicit variable bindings.
+func (q *Query) RunWithVars(doc *Document, alg Algorithm, vars map[string]Sequence) (Sequence, error) {
+	en := exec.NewEngine(alg, vars)
+	en.UseIndex(doc.index)
+	return en.Run(q.optimized)
+}
+
+// Plan returns the optimized plan in the paper's functional notation.
+func (q *Query) Plan() string { return algebra.String(q.optimized) }
+
+// PlanTree returns the optimized plan with one operator per line.
+func (q *Query) PlanTree() string { return algebra.Pretty(q.optimized) }
+
+// UnoptimizedPlan returns the plan before tree-pattern detection (the
+// paper's P1 shape).
+func (q *Query) UnoptimizedPlan() string { return algebra.String(q.plan) }
+
+// Core returns the normalized XQuery Core (the paper's Q1a-n shape).
+func (q *Query) Core() string { return core.Pretty(q.coreExpr) }
+
+// Rewritten returns the TPNF′ core after the §3 rewritings (the paper's
+// Q1-tp shape).
+func (q *Query) Rewritten() string { return core.Pretty(q.rewritten) }
+
+// Operators returns the operator counts of the optimized plan.
+func (q *Query) Operators() map[string]int { return algebra.CountOperators(q.optimized) }
+
+// TreePatterns returns the number of TupleTreePattern operators in the
+// optimized plan.
+func (q *Query) TreePatterns() int { return q.Operators()["TupleTreePattern"] }
+
+// Explain renders every compilation phase (the Fig. 2 pipeline) for
+// inspection.
+func (q *Query) Explain() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Query:\n  %s\n\n", q.Source)
+	fmt.Fprintf(&b, "Parsed (surface syntax):\n  %s\n\n", ast.String(q.surface))
+	fmt.Fprintf(&b, "Normalized (XQuery Core):\n%s\n\n", indentLines(core.Pretty(q.coreExpr)))
+	fmt.Fprintf(&b, "Rewritten (TPNF'):\n%s\n\n", indentLines(core.Pretty(q.rewritten)))
+	fmt.Fprintf(&b, "Compiled plan:\n%s\n", indentLines(algebra.Pretty(q.plan)))
+	fmt.Fprintf(&b, "Optimized plan:\n%s", indentLines(algebra.Pretty(q.optimized)))
+	return b.String()
+}
+
+func indentLines(s string) string {
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	for i, l := range lines {
+		lines[i] = "  " + l
+	}
+	return strings.Join(lines, "\n")
+}
+
+// freeVariables collects the free variables of a core expression in sorted
+// order.
+func freeVariables(e core.Expr) []string {
+	set := map[string]bool{}
+	var walk func(core.Expr, map[string]bool)
+	walk = func(e core.Expr, bound map[string]bool) {
+		switch x := e.(type) {
+		case *core.Var:
+			if !bound[x.Name] {
+				set[x.Name] = true
+			}
+			return
+		case *core.For:
+			walk(x.In, bound)
+			b2 := withNames(bound, x.Var, x.Pos)
+			if x.Where != nil {
+				walk(x.Where, b2)
+			}
+			walk(x.Return, b2)
+			return
+		case *core.Let:
+			walk(x.In, bound)
+			walk(x.Return, withNames(bound, x.Var))
+			return
+		case *core.TypeSwitch:
+			walk(x.Input, bound)
+			for _, c := range x.Cases {
+				walk(c.Body, withNames(bound, c.Var))
+			}
+			walk(x.Default, withNames(bound, x.DefVar))
+			return
+		}
+		for _, c := range core.Children(e) {
+			walk(c, bound)
+		}
+	}
+	walk(e, map[string]bool{})
+	out := make([]string, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func withNames(bound map[string]bool, names ...string) map[string]bool {
+	out := make(map[string]bool, len(bound)+len(names))
+	for k := range bound {
+		out[k] = true
+	}
+	for _, n := range names {
+		if n != "" {
+			out[n] = true
+		}
+	}
+	return out
+}
+
+// ItemString renders an item for display.
+func ItemString(it Item) string { return xdm.ItemString(it) }
+
+// SerializeItem renders a node item as XML, and atomics as their lexical
+// value.
+func SerializeItem(it Item) string {
+	if n, ok := it.(*xdm.Node); ok {
+		return xmlstore.SerializeString(n)
+	}
+	return xdm.ItemString(it)
+}
