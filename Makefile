@@ -1,0 +1,34 @@
+GO ?= go
+
+# Packages with concurrency-sensitive paths (shared catalog, prepared-join
+# caches, parallel TupleTreePattern workers) get a dedicated -race run.
+RACE_PKGS = ./internal/exec ./internal/join
+
+.PHONY: all build vet test race check bench serve clean
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race $(RACE_PKGS) .
+
+check: build vet test race
+
+# Single-threaded paper benchmarks (Table 1, Fig. 4, ...).
+bench:
+	$(GO) test -bench 'Table1|Figure4' -benchmem -benchtime 1x .
+
+# Concurrent serving benchmark; -cpu exercises the QPS scaling.
+serve:
+	$(GO) test -bench Serve -benchmem -cpu 1,4 .
+
+clean:
+	$(GO) clean ./...

@@ -6,6 +6,7 @@
 //
 //	treebench -exp all            # every experiment at paper scale
 //	treebench -exp table1 -quick  # one experiment at reduced scale
+//	treebench -exp serve -json BENCH_serve.json  # concurrent serving QPS
 package main
 
 import (
@@ -19,10 +20,11 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, all")
-		quick   = flag.Bool("quick", false, "reduced document sizes for a fast run")
-		seed    = flag.Int64("seed", 1, "generator seed")
-		repeats = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
+		exp      = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, serve, all")
+		quick    = flag.Bool("quick", false, "reduced document sizes for a fast run")
+		seed     = flag.Int64("seed", 1, "generator seed")
+		repeats  = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
+		jsonPath = flag.String("json", "", "write the serve report as JSON to this file (serve only)")
 	)
 	flag.Parse()
 
@@ -48,6 +50,8 @@ func main() {
 		err = xqtp.RunFigure6(w, opts)
 	case "sec53":
 		err = xqtp.RunSection53(w, opts)
+	case "serve":
+		err = xqtp.RunServe(w, opts, *jsonPath)
 	case "all":
 		err = xqtp.RunAll(w, opts)
 	default:

@@ -60,7 +60,7 @@ func main() {
 
 	opts := xqtp.DefaultOptions
 	opts.TreePatterns = !*noTP
-	q, err := xqtp.PrepareWithOptions(*query, opts)
+	q, err := xqtp.PrepareCachedWithOptions(*query, opts)
 	if err != nil {
 		fatal(err)
 	}

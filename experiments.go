@@ -87,7 +87,7 @@ func RunTable1(w io.Writer, opts ExperimentOptions) error {
 	fmt.Fprintln(w)
 	algs := []Algorithm{NestedLoop, Twig, Staircase}
 	for _, pq := range QEQueries {
-		q, err := Prepare(pq.Query)
+		q, err := PrepareCached(pq.Query)
 		if err != nil {
 			return fmt.Errorf("%s: %w", pq.Name, err)
 		}
@@ -138,6 +138,10 @@ func shortAlg(a Algorithm) string {
 		return "TJ"
 	case Staircase:
 		return "SC"
+	case Auto:
+		return "auto"
+	case Streaming:
+		return "stream"
 	}
 	return "?"
 }
@@ -152,7 +156,7 @@ func RunFigure4(w io.Writer, opts ExperimentOptions) error {
 	if err != nil {
 		return err
 	}
-	newQ, err := Prepare(flwor)
+	newQ, err := PrepareCached(flwor)
 	if err != nil {
 		return err
 	}
@@ -193,7 +197,7 @@ func RunFigure6(w io.Writer, opts ExperimentOptions) error {
 			label string
 			src   string
 		}{{"child", pair.Child}, {"desc", pair.Descendant}} {
-			q, err := Prepare(form.src)
+			q, err := PrepareCached(form.src)
 			if err != nil {
 				return fmt.Errorf("%s: %w", pair.Name, err)
 			}
@@ -230,7 +234,7 @@ func RunSection53(w io.Writer, opts ExperimentOptions) error {
 	for _, alg := range []Algorithm{NestedLoop, Twig, Staircase} {
 		fmt.Fprintf(w, "%-10s", alg.String())
 		for _, k := range ks {
-			q, err := Prepare(Section53Query(k))
+			q, err := PrepareCached(Section53Query(k))
 			if err != nil {
 				return err
 			}
@@ -253,7 +257,7 @@ func RunValidation(w io.Writer) error {
 	var refPlan string
 	identical := 0
 	for i, v := range variants {
-		q, err := Prepare(v)
+		q, err := PrepareCached(v)
 		if err != nil {
 			return fmt.Errorf("variant %d: %w", i, err)
 		}

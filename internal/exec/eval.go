@@ -9,12 +9,18 @@ import (
 	"xqtp/internal/algebra"
 	"xqtp/internal/funcs"
 	"xqtp/internal/join"
+	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
 )
 
 // Engine evaluates algebraic plans against an environment of free variables
 // using a configured physical tree-pattern algorithm.
+//
+// An engine is safe for concurrent Run calls as long as its configuration
+// (Vars, Algorithm, Parallel, Catalog, Preps) is not mutated concurrently:
+// evaluation state is per-call, and the catalog and prepared-pattern cache
+// are concurrency-safe.
 type Engine struct {
 	// Vars binds the plan's free variables ($d, $input, the context item).
 	Vars map[string]xdm.Sequence
@@ -25,28 +31,48 @@ type Engine struct {
 	// Results are deterministic: per-context bindings are merged in input
 	// order before the operator's document-order sort.
 	Parallel int
-
-	indexes map[*xdm.Tree]*xmlstore.Index
+	// Catalog resolves documents to their indexes, building each exactly
+	// once. Sharing a catalog between engines (e.g. the document's own)
+	// makes every run after the first free of index work.
+	Catalog *xmlstore.Catalog
+	// Preps caches prepared (pattern, document, algorithm) joins. Sharing
+	// it across runs of one compiled query skips per-run stream resolution.
+	Preps *PrepCache
 }
 
-// NewEngine builds an execution engine.
+// NewEngine builds an execution engine with a private catalog and
+// prepared-pattern cache (callers serving many runs share both by setting
+// Catalog/Preps to long-lived instances).
 func NewEngine(alg join.Algorithm, vars map[string]xdm.Sequence) *Engine {
-	return &Engine{Vars: vars, Algorithm: alg, indexes: map[*xdm.Tree]*xmlstore.Index{}}
+	return &Engine{
+		Vars:      vars,
+		Algorithm: alg,
+		Catalog:   xmlstore.NewCatalog(),
+		Preps:     NewPrepCache(),
+	}
 }
 
 // UseIndex registers a prebuilt index (otherwise indexes are built lazily
 // per document on first pattern evaluation).
 func (en *Engine) UseIndex(ix *xmlstore.Index) {
-	en.indexes[ix.Tree] = ix
+	en.Catalog.Register(ix)
 }
 
-func (en *Engine) indexFor(t *xdm.Tree) *xmlstore.Index {
-	if ix, ok := en.indexes[t]; ok {
-		return ix
+// prepFor resolves the (pattern, document) pair to a prepared join,
+// consulting the prepared-pattern cache and the document catalog. A
+// zero-value Engine (no catalog, no cache) still works: it builds and
+// prepares on the spot.
+func (en *Engine) prepFor(pat *pattern.Pattern, t *xdm.Tree) (*join.Prepared, error) {
+	var ix *xmlstore.Index
+	if en.Catalog != nil {
+		ix = en.Catalog.Index(t)
+	} else {
+		ix = xmlstore.BuildIndex(t)
 	}
-	ix := xmlstore.BuildIndex(t)
-	en.indexes[t] = ix
-	return ix
+	if en.Preps == nil {
+		return join.Prepare(en.Algorithm, ix, pat)
+	}
+	return en.Preps.prepared(en.Algorithm, ix, pat)
 }
 
 // Run evaluates a plan to an item sequence.
@@ -362,6 +388,7 @@ func (en *Engine) evalTTP(ttp *algebra.TupleTreePattern, sc *scope, firstOnly bo
 	type work struct {
 		tuple *Tuple
 		ctx   *xdm.Node
+		prep  *join.Prepared
 	}
 	var items []work
 	for _, t := range in {
@@ -379,22 +406,28 @@ func (en *Engine) evalTTP(ttp *algebra.TupleTreePattern, sc *scope, firstOnly bo
 			items = append(items, work{tuple: t, ctx: ctx})
 		}
 	}
-	if firstOnly && len(items) == 1 {
-		ix := en.indexFor(items[0].ctx.Doc)
-		b, found, err := join.EvalFirst(en.Algorithm, ix, items[0].ctx, ttp.Pattern)
-		if err != nil {
-			return Value{}, err
+	// Resolve the prepared join once per distinct document (with a single
+	// document — the common case — this is one cache lookup for the whole
+	// work list, regardless of how many context nodes it holds).
+	var lastTree *xdm.Tree
+	var lastPrep *join.Prepared
+	for i := range items {
+		if t := items[i].ctx.Doc; t != lastTree {
+			p, err := en.prepFor(ttp.Pattern, t)
+			if err != nil {
+				return Value{}, err
+			}
+			lastTree, lastPrep = t, p
 		}
+		items[i].prep = lastPrep
+	}
+	if firstOnly && len(items) == 1 {
+		b, found := items[0].prep.EvalFirst(items[0].ctx)
 		var rows []row
 		if found {
 			rows = append(rows, row{tuple: items[0].tuple, binding: b})
 		}
 		return en.ttpOutput(rows, fields, firstOnly)
-	}
-	// Pre-resolve indexes sequentially (the lazy map is not safe for
-	// concurrent mutation).
-	for _, w := range items {
-		en.indexFor(w.ctx.Doc)
 	}
 	perItem := make([][]join.Binding, len(items))
 	if en.Parallel > 1 && len(items) > 1 {
@@ -403,42 +436,31 @@ func (en *Engine) evalTTP(ttp *algebra.TupleTreePattern, sc *scope, firstOnly bo
 			workers = len(items)
 		}
 		var wg sync.WaitGroup
-		errs := make([]error, workers)
 		next := int64(-1)
 		for wk := 0; wk < workers; wk++ {
 			wg.Add(1)
-			go func(wk int) {
+			go func() {
 				defer wg.Done()
 				for {
 					i := int(atomic.AddInt64(&next, 1))
 					if i >= len(items) {
 						return
 					}
-					bs, err := join.Eval(en.Algorithm, en.indexes[items[i].ctx.Doc], items[i].ctx, ttp.Pattern)
-					if err != nil {
-						errs[wk] = err
-						return
-					}
-					perItem[i] = bs
+					perItem[i] = items[i].prep.Eval(items[i].ctx)
 				}
-			}(wk)
+			}()
 		}
 		wg.Wait()
-		for _, err := range errs {
-			if err != nil {
-				return Value{}, err
-			}
-		}
 	} else {
 		for i, w := range items {
-			bs, err := join.Eval(en.Algorithm, en.indexes[w.ctx.Doc], w.ctx, ttp.Pattern)
-			if err != nil {
-				return Value{}, err
-			}
-			perItem[i] = bs
+			perItem[i] = w.prep.Eval(w.ctx)
 		}
 	}
-	var rows []row
+	total := 0
+	for _, bs := range perItem {
+		total += len(bs)
+	}
+	rows := make([]row, 0, total)
 	for i, bs := range perItem {
 		for _, b := range bs {
 			rows = append(rows, row{tuple: items[i].tuple, binding: b})

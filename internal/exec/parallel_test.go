@@ -2,9 +2,11 @@ package exec
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 
 	"xqtp/internal/join"
+	"xqtp/internal/xdm"
 )
 
 // Parallel TupleTreePattern evaluation is deterministic and identical to
@@ -32,6 +34,49 @@ func TestParallelTTPMatchesSequential(t *testing.T) {
 				}
 				if !seqEqual(want, got) {
 					t.Errorf("%s/%v seed %d: parallel result differs", q, alg, seed)
+				}
+			}
+		}
+	}
+}
+
+// One engine, many concurrent Run calls: the serving pattern. The shared
+// catalog builds each index once and the prepared-pattern cache is hit from
+// every goroutine; results must match the single-threaded run (run with
+// -race to validate the synchronization).
+func TestConcurrentRunsShareEngine(t *testing.T) {
+	queries := []string{
+		`$d//person[emailaddress]/name`,
+		`for $x in $d//person[emailaddress] return $x/name`,
+		`$d//site//person//name`,
+	}
+	rng := rand.New(rand.NewSource(7))
+	trees := []*xdm.Tree{randomDoc(rng, 150), randomDoc(rng, 250)}
+	for _, alg := range []join.Algorithm{join.NestedLoop, join.Staircase, join.Twig, join.Auto} {
+		for _, q := range queries {
+			plan := pipeline(t, q, true)
+			for _, tr := range trees {
+				en := NewEngine(alg, engineVars(tr))
+				want, werr := en.Run(plan)
+				const goroutines = 8
+				outs := make([]xdm.Sequence, goroutines)
+				errs := make([]error, goroutines)
+				var wg sync.WaitGroup
+				for g := 0; g < goroutines; g++ {
+					wg.Add(1)
+					go func(g int) {
+						defer wg.Done()
+						outs[g], errs[g] = en.Run(plan)
+					}(g)
+				}
+				wg.Wait()
+				for g := 0; g < goroutines; g++ {
+					if (werr == nil) != (errs[g] == nil) {
+						t.Fatalf("%s/%v: goroutine %d error mismatch %v vs %v", q, alg, g, werr, errs[g])
+					}
+					if !seqEqual(want, outs[g]) {
+						t.Errorf("%s/%v: goroutine %d result differs", q, alg, g)
+					}
 				}
 			}
 		}

@@ -1,0 +1,47 @@
+package exec
+
+import (
+	"sync"
+
+	"xqtp/internal/join"
+	"xqtp/internal/pattern"
+	"xqtp/internal/xdm"
+	"xqtp/internal/xmlstore"
+)
+
+// PrepCache memoizes join.Prepare results per (pattern, document,
+// algorithm): the compile-once piece of the serving path. A cache owned by a
+// compiled query and threaded into every engine that runs it makes repeated
+// Run calls skip pattern validation and stream resolution entirely.
+//
+// Entries hold references to the documents they were prepared against, so a
+// PrepCache should live with the query (or engine) that owns it, not
+// process-wide. All methods are safe for concurrent use.
+type PrepCache struct {
+	m sync.Map // prepKey -> *join.Prepared
+}
+
+type prepKey struct {
+	pat  *pattern.Pattern
+	tree *xdm.Tree
+	alg  join.Algorithm
+}
+
+// NewPrepCache returns an empty cache.
+func NewPrepCache() *PrepCache { return &PrepCache{} }
+
+// prepared returns the cached prepared pattern, building and caching it on
+// first use. Concurrent callers may prepare the same key twice; the first
+// stored entry wins and preparation is idempotent.
+func (pc *PrepCache) prepared(alg join.Algorithm, ix *xmlstore.Index, pat *pattern.Pattern) (*join.Prepared, error) {
+	key := prepKey{pat: pat, tree: ix.Tree, alg: alg}
+	if v, ok := pc.m.Load(key); ok {
+		return v.(*join.Prepared), nil
+	}
+	p, err := join.Prepare(alg, ix, pat)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := pc.m.LoadOrStore(key, p)
+	return v.(*join.Prepared), nil
+}

@@ -18,13 +18,25 @@ import (
 //     scans every stream once.
 const Auto Algorithm = 255
 
+// streamFn resolves a pattern step to its full-document tag stream. The
+// Prepared form passes its pre-resolved table; the one-shot Choose hits the
+// index directly.
+type streamFn func(*pattern.Step) []*xdm.Node
+
 // Choose estimates the cost of each algorithm for evaluating pat from ctx
 // and returns the cheapest. The estimates count index-stream entries and
 // tree nodes touched.
 func Choose(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) Algorithm {
+	_, single := pat.SingleOutput()
+	return choose(ctx, pat, single, func(s *pattern.Step) []*xdm.Node {
+		return ix.StreamFor(s.Axis, s.Test)
+	})
+}
+
+func choose(ctx *xdm.Node, pat *pattern.Pattern, single bool, streams streamFn) Algorithm {
 	nl := costNL(ctx, pat)
-	sc, scOK := costSC(ix, ctx, pat)
-	tj, tjOK := costTJ(ix, ctx, pat)
+	sc, scOK := costSC(ctx, pat, single, streams)
+	tj, tjOK := costTJ(ctx, pat, single, streams)
 	best, bestCost := NestedLoop, nl
 	if scOK && sc < bestCost {
 		best, bestCost = Staircase, sc
@@ -56,13 +68,13 @@ func costNL(ctx *xdm.Node, pat *pattern.Pattern) float64 {
 // costSC sums the spine stream scans plus a per-candidate charge for each
 // predicate branch (the semi-join work that makes SCJoin degrade on
 // complex twigs).
-func costSC(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) (float64, bool) {
-	if _, single := pat.SingleOutput(); !single || !scSupported(pat.Root) {
+func costSC(ctx *xdm.Node, pat *pattern.Pattern, single bool, streams streamFn) (float64, bool) {
+	if !single || !scSupported(pat.Root) {
 		return 0, false
 	}
 	total := 0.0
 	for s := pat.Root; s != nil; s = s.Next {
-		stream := float64(streamLen(ix, ctx, s.Axis, s.Test))
+		stream := float64(streamLen(ctx, s, streams))
 		total += stream
 		for _, p := range s.Preds {
 			// Each candidate pays a binary-searched region probe per
@@ -75,8 +87,8 @@ func costSC(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) (float64, b
 }
 
 // costTJ sums every stream once (holistic scan) plus the refinement merge.
-func costTJ(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) (float64, bool) {
-	if _, single := pat.SingleOutput(); !single || !twigSupported(pat.Root) {
+func costTJ(ctx *xdm.Node, pat *pattern.Pattern, single bool, streams streamFn) (float64, bool) {
+	if !single || !twigSupported(pat.Root) {
 		return 0, false
 	}
 	total := 0.0
@@ -86,7 +98,7 @@ func costTJ(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) (float64, b
 			// Each stream entry passes through the stack machinery and the
 			// refinement merge (a higher per-entry constant than the
 			// staircase scan, calibrated on the Table 1 workload).
-			total += float64(streamLen(ix, ctx, c.Axis, c.Test)) * 6
+			total += float64(streamLen(ctx, c, streams)) * 6
 			for _, p := range c.Preds {
 				walk(p)
 			}
@@ -98,8 +110,8 @@ func costTJ(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) (float64, b
 
 // streamLen approximates the number of stream entries inside the context
 // region.
-func streamLen(ix *xmlstore.Index, ctx *xdm.Node, axis xdm.Axis, test xdm.NodeTest) int {
-	stream := ix.StreamFor(axis, test)
+func streamLen(ctx *xdm.Node, s *pattern.Step, streams streamFn) int {
+	stream := streams(s)
 	if ctx.Kind == xdm.DocumentNode {
 		return len(stream)
 	}

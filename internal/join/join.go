@@ -71,69 +71,36 @@ func ParseAlgorithm(name string) (Algorithm, error) {
 // step, in pattern.OutputFields() order.
 type Binding []*xdm.Node
 
-// Eval returns every binding of pat evaluated from context node ctx.
-// Single-output patterns (the shape the optimizer produces) run on the
-// selected algorithm; patterns outside an algorithm's supported fragment
-// (reverse axes for the set-at-a-time algorithms, multiple output fields)
-// fall back to nested-loop evaluation, which is fully general.
+// Eval returns every binding of pat evaluated from context node ctx. It is
+// the one-shot form of Prepare followed by Prepared.Eval; callers that
+// evaluate the same pattern from many context nodes of one document should
+// Prepare once instead.
 func Eval(alg Algorithm, ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) ([]Binding, error) {
-	if err := checkPattern(pat); err != nil {
+	p, err := Prepare(alg, ix, pat)
+	if err != nil {
 		return nil, err
 	}
-	if alg == Auto {
-		alg = Choose(ix, ctx, pat)
-	}
-	_, single := pat.SingleOutput()
-	switch alg {
-	case Staircase:
-		if single && scSupported(pat.Root) {
-			nodes := scEval(ix, ctx, pat)
-			return wrapNodes(nodes), nil
-		}
-	case Twig:
-		if single && twigSupported(pat.Root) {
-			nodes := twigEval(ix, ctx, pat)
-			return wrapNodes(nodes), nil
-		}
-	case Streaming:
-		if single && streamSupported(pat) {
-			nodes := streamEval(ix, ctx, pat)
-			return wrapNodes(nodes), nil
-		}
-	}
-	return nlEval(ctx, pat), nil
+	return p.Eval(ctx), nil
 }
 
-// EvalFirst returns the first binding in document order, allowing the
-// nested-loop algorithm its cursor-style early exit (§5.3). The
-// set-at-a-time algorithms evaluate fully and take the head — that cost
-// difference is precisely the paper's §5.3 observation. The early exit is
-// only taken for child/attribute-only spines, where the nested loop's
-// lexical first binding is also the document-order first.
+// EvalFirst returns the first binding in document order — the one-shot form
+// of Prepare followed by Prepared.EvalFirst.
 func EvalFirst(alg Algorithm, ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) (Binding, bool, error) {
-	if alg == Auto && spineChildOnly(pat.Root) {
-		// First-match over a non-nesting spine: the §5.3 heuristic —
-		// always take the nested loop's cursor-style early exit.
-		alg = NestedLoop
-	}
-	if alg == NestedLoop && spineChildOnly(pat.Root) {
-		if err := checkPattern(pat); err != nil {
-			return nil, false, err
-		}
-		b, ok := nlFirst(ctx, pat)
-		return b, ok, nil
-	}
-	all, err := Eval(alg, ix, ctx, pat)
-	if err != nil || len(all) == 0 {
+	p, err := Prepare(alg, ix, pat)
+	if err != nil {
 		return nil, false, err
 	}
-	return all[0], true, nil
+	b, ok := p.EvalFirst(ctx)
+	return b, ok, nil
 }
 
+// wrapNodes views a freshly built node list as single-field bindings; the
+// bindings alias the input slice (two allocations for the whole result set
+// instead of one per binding).
 func wrapNodes(nodes []*xdm.Node) []Binding {
 	out := make([]Binding, len(nodes))
-	for i, n := range nodes {
-		out[i] = Binding{n}
+	for i := range nodes {
+		out[i] = nodes[i : i+1 : i+1]
 	}
 	return out
 }

@@ -1,0 +1,121 @@
+package join
+
+import (
+	"xqtp/internal/pattern"
+	"xqtp/internal/xdm"
+	"xqtp/internal/xmlstore"
+)
+
+// Prepared is a tree pattern compiled against one document's index: the
+// pattern is validated once, algorithm applicability is decided once, and
+// every step's node test is resolved to its pre-sorted tag stream once —
+// the compile-once half of the serving path. After that, Eval per context
+// node does no string hashing and no per-run setup.
+//
+// A Prepared is immutable and safe for concurrent Eval/EvalFirst calls from
+// many goroutines (the evaluation scratch comes from internal pools).
+type Prepared struct {
+	alg Algorithm
+	ix  *xmlstore.Index
+	pat *pattern.Pattern
+
+	single    bool // single output annotation at the extraction point
+	scOK      bool // staircase supports every axis
+	twigOK    bool // twig supports every edge/test
+	streamOK  bool // streaming automaton supports the spine
+	childOnly bool // spine has child/attribute/self steps only
+
+	streams map[*pattern.Step][]*xdm.Node // per-step resolved tag streams
+}
+
+// Prepare resolves pat against ix for evaluation under alg. The index may be
+// nil only for algorithms that never touch streams (pure nested-loop
+// evaluation).
+func Prepare(alg Algorithm, ix *xmlstore.Index, pat *pattern.Pattern) (*Prepared, error) {
+	if err := checkPattern(pat); err != nil {
+		return nil, err
+	}
+	p := &Prepared{alg: alg, ix: ix, pat: pat}
+	_, p.single = pat.SingleOutput()
+	p.scOK = scSupported(pat.Root)
+	p.twigOK = twigSupported(pat.Root)
+	p.streamOK = streamSupported(pat)
+	p.childOnly = spineChildOnly(pat.Root)
+	if ix != nil && (alg == Staircase || alg == Twig || alg == Auto) {
+		p.streams = make(map[*pattern.Step][]*xdm.Node, pat.Size())
+		var walk func(*pattern.Step)
+		walk = func(s *pattern.Step) {
+			for c := s; c != nil; c = c.Next {
+				p.streams[c] = ix.StreamFor(c.Axis, c.Test)
+				for _, pr := range c.Preds {
+					walk(pr)
+				}
+			}
+		}
+		walk(pat.Root)
+	}
+	return p, nil
+}
+
+// Pattern returns the prepared pattern.
+func (p *Prepared) Pattern() *pattern.Pattern { return p.pat }
+
+// stream returns the resolved tag stream of a step (pointer-keyed lookup;
+// the string hash happened once, in Prepare).
+func (p *Prepared) stream(s *pattern.Step) []*xdm.Node { return p.streams[s] }
+
+// Eval returns every binding of the pattern from context node ctx.
+// Single-output patterns run on the selected algorithm; patterns outside an
+// algorithm's supported fragment fall back to nested-loop evaluation, which
+// is fully general.
+func (p *Prepared) Eval(ctx *xdm.Node) []Binding {
+	alg := p.alg
+	if alg == Auto {
+		alg = p.choose(ctx)
+	}
+	if p.single {
+		switch alg {
+		case Staircase:
+			if p.scOK {
+				return wrapNodes(scEval(p, ctx))
+			}
+		case Twig:
+			if p.twigOK {
+				return wrapNodes(twigEval(p, ctx))
+			}
+		case Streaming:
+			if p.streamOK {
+				return wrapNodes(streamEval(p, ctx))
+			}
+		}
+	}
+	return nlEval(ctx, p.pat)
+}
+
+// EvalFirst returns the first binding in document order, allowing the
+// nested-loop algorithm its cursor-style early exit (§5.3). The
+// set-at-a-time algorithms evaluate fully and take the head — that cost
+// difference is precisely the paper's §5.3 observation. The early exit is
+// only taken for child/attribute-only spines, where the nested loop's
+// lexical first binding is also the document-order first.
+func (p *Prepared) EvalFirst(ctx *xdm.Node) (Binding, bool) {
+	alg := p.alg
+	if alg == Auto && p.childOnly {
+		// First-match over a non-nesting spine: the §5.3 heuristic —
+		// always take the nested loop's cursor-style early exit.
+		alg = NestedLoop
+	}
+	if alg == NestedLoop && p.childOnly {
+		return nlFirst(ctx, p.pat)
+	}
+	all := p.Eval(ctx)
+	if len(all) == 0 {
+		return nil, false
+	}
+	return all[0], true
+}
+
+// choose runs the cost model over the pre-resolved streams.
+func (p *Prepared) choose(ctx *xdm.Node) Algorithm {
+	return choose(ctx, p.pat, p.single, p.stream)
+}

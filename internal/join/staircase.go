@@ -1,46 +1,92 @@
 package join
 
 import (
+	"sync"
+
 	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
 )
 
+// scArena is the per-evaluation scratch of the staircase join: a stack of
+// candidate-list buffers handed out in LIFO order. One arena is fetched
+// from a pool per scEval call, so the per-candidate existential semi-joins
+// (scExists runs once per candidate per predicate) reuse buffers with plain
+// integer bookkeeping instead of hitting the pool in the hot loop.
+type scArena struct {
+	bufs [][]*xdm.Node
+	next int
+}
+
+// take hands out the index of a fresh (empty) buffer.
+func (a *scArena) take() int {
+	if a.next == len(a.bufs) {
+		a.bufs = append(a.bufs, make([]*xdm.Node, 0, 64))
+	}
+	i := a.next
+	a.next++
+	return i
+}
+
+// giveBack writes a possibly-grown buffer back to its slot so the arena
+// keeps the capacity for the next use; callers then restore a.next to their
+// saved mark.
+func (a *scArena) giveBack(i int, b []*xdm.Node) { a.bufs[i] = b[:0] }
+
+var scArenaPool = sync.Pool{New: func() any { return new(scArena) }}
+
 // scEval is the staircase-join evaluation of a single-output tree pattern:
 // one set-at-a-time pass per location step. Descendant steps prune the
 // context staircase (contexts covered by an earlier context are skipped)
-// and scan the pre-sorted tag stream region by region, producing
+// and scan the pre-resolved tag stream region by region, producing
 // duplicate-free results in document order without an explicit sort.
 // Predicate branches are evaluated as existential semi-joins per candidate
 // — the per-candidate work is what makes SCJoin degrade on complex twigs
 // while it shines on linear paths (paper §5.2).
-func scEval(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) []*xdm.Node {
-	cur := []*xdm.Node{ctx}
-	for s := pat.Root; s != nil; s = s.Next {
-		cur = scStep(ix, cur, s.Axis, s.Test)
+//
+// The per-step candidate lists live in arena buffers (two, swapped each
+// step); only the final result is allocated, exactly sized.
+func scEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
+	arena := scArenaPool.Get().(*scArena)
+	ai, bi := arena.take(), arena.take()
+	cur := append(arena.bufs[ai][:0], ctx)
+	next := arena.bufs[bi][:0]
+	for s := p.pat.Root; s != nil; s = s.Next {
+		next = scStep(p, cur, s, next[:0])
 		if len(s.Preds) > 0 {
-			kept := cur[:0:len(cur)]
-			for _, cand := range cur {
-				if scPreds(ix, cand, s.Preds) {
+			kept := next[:0]
+			for _, cand := range next {
+				if scPreds(p, arena, cand, s.Preds) {
 					kept = append(kept, cand)
 				}
 			}
-			cur = kept
+			next = kept
 		}
+		cur, next = next, cur
 		if len(cur) == 0 {
-			return nil
+			break
 		}
 	}
-	return cur
+	var out []*xdm.Node
+	if len(cur) > 0 {
+		out = make([]*xdm.Node, len(cur))
+		copy(out, cur)
+	}
+	arena.giveBack(ai, cur)
+	arena.giveBack(bi, next)
+	arena.next = 0
+	scArenaPool.Put(arena)
+	return out
 }
 
 // scStep performs one staircase step over a document-ordered duplicate-free
-// context list.
-func scStep(ix *xmlstore.Index, ctxs []*xdm.Node, axis xdm.Axis, test xdm.NodeTest) []*xdm.Node {
-	var out []*xdm.Node
+// context list, appending into dst (which must not alias ctxs).
+func scStep(p *Prepared, ctxs []*xdm.Node, s *pattern.Step, dst []*xdm.Node) []*xdm.Node {
+	axis, test := s.Axis, s.Test
+	out := dst
 	switch axis {
 	case xdm.AxisDescendant, xdm.AxisDescendantOrSelf:
-		stream := ix.StreamFor(axis, test)
+		stream := p.stream(s)
 		// Staircase pruning: skip contexts covered by the previous kept
 		// context; the remaining regions are disjoint and ascending, so
 		// the concatenation of region scans is already in document order.
@@ -91,38 +137,47 @@ func scStep(ix *xmlstore.Index, ctxs []*xdm.Node, axis xdm.Axis, test xdm.NodeTe
 		}
 		return out
 	}
-	return nil
+	return out
 }
 
 // scPreds checks the predicate branches of a candidate as existential
 // semi-joins using the same staircase primitives from a singleton context.
-func scPreds(ix *xmlstore.Index, cand *xdm.Node, preds []*pattern.Step) bool {
-	for _, p := range preds {
-		if !scExists(ix, cand, p) {
+func scPreds(p *Prepared, arena *scArena, cand *xdm.Node, preds []*pattern.Step) bool {
+	for _, pr := range preds {
+		if !scExists(p, arena, cand, pr) {
 			return false
 		}
 	}
 	return true
 }
 
-func scExists(ix *xmlstore.Index, ctx *xdm.Node, chain *pattern.Step) bool {
-	cur := []*xdm.Node{ctx}
+func scExists(p *Prepared, arena *scArena, ctx *xdm.Node, chain *pattern.Step) bool {
+	mark := arena.next
+	ai, bi := arena.take(), arena.take()
+	cur := append(arena.bufs[ai][:0], ctx)
+	next := arena.bufs[bi][:0]
+	found := true
 	for s := chain; s != nil; s = s.Next {
-		cur = scStep(ix, cur, s.Axis, s.Test)
+		next = scStep(p, cur, s, next[:0])
 		if len(s.Preds) > 0 {
-			kept := cur[:0:len(cur)]
-			for _, cand := range cur {
-				if scPreds(ix, cand, s.Preds) {
+			kept := next[:0]
+			for _, cand := range next {
+				if scPreds(p, arena, cand, s.Preds) {
 					kept = append(kept, cand)
 				}
 			}
-			cur = kept
+			next = kept
 		}
+		cur, next = next, cur
 		if len(cur) == 0 {
-			return false
+			found = false
+			break
 		}
 	}
-	return true
+	arena.giveBack(ai, cur)
+	arena.giveBack(bi, next)
+	arena.next = mark
+	return found
 }
 
 func sortedNodes(ns []*xdm.Node) bool {

@@ -5,7 +5,6 @@ import (
 
 	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
-	"xqtp/internal/xmlstore"
 )
 
 // Streaming is the streaming XPath evaluator the paper's conclusion lists
@@ -46,7 +45,8 @@ func streamSupported(p *pattern.Pattern) bool {
 // States are propagated level by level using an explicit stack of
 // (subtree-end, bitmask) frames, so the whole evaluation is one linear scan
 // with no per-node allocation.
-func streamEval(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) []*xdm.Node {
+func streamEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
+	pat := p.pat
 	var spine []*pattern.Step
 	var descMask uint64
 	for s := pat.Root; s != nil; s = s.Next {

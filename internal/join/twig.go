@@ -2,6 +2,7 @@ package join
 
 import (
 	"sort"
+	"sync"
 
 	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
@@ -18,21 +19,26 @@ import (
 // pre-sorted candidate lists (TwigStack is provably optimal only for
 // descendant edges — the paper's observation that child steps do not
 // penalize it in the in-memory model still shows in the refinement cost).
-func twigEval(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) []*xdm.Node {
-	q := buildQuery(ix, ctx, pat)
-	if q == nil {
-		return nil
-	}
+//
+// The streams come pre-resolved from the Prepared pattern; stacks and
+// candidate lists live in a pooled arena, released after the result is
+// copied out.
+func twigEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
+	arena := getTwigBufs()
+	q := buildQuery(p, ctx, arena)
 	runTwigStack(q)
 	refine(q)
 	// Select the extraction-point candidates that sit on a refined root
 	// path (top-down pass).
 	topDown(q)
 	ep := findOutput(q)
-	if ep == nil {
-		return nil
+	var out []*xdm.Node
+	if ep != nil && len(ep.valid) > 0 {
+		out = make([]*xdm.Node, len(ep.valid))
+		copy(out, ep.valid)
 	}
-	return ep.valid
+	arena.release(q)
+	return out
 }
 
 // qnode is one query node of the twig.
@@ -45,39 +51,71 @@ type qnode struct {
 
 	stream []*xdm.Node // region-restricted pre-sorted stream
 	pos    int         // stream cursor
-	stack  []stackEntry
+	stack  []*xdm.Node // pooled
 
-	cand  []*xdm.Node // nodes ever pushed (root-path connected), pre-sorted
-	valid []*xdm.Node // candidates surviving refinement and the top-down pass
+	cand  []*xdm.Node // nodes ever pushed (root-path connected), pre-sorted; pooled
+	valid []*xdm.Node // candidates surviving refinement and the top-down pass; pooled
 }
 
-type stackEntry struct {
-	node *xdm.Node
+// twigBufs recycles the stacks and candidate lists of one twig evaluation.
+// get hands out a recycled buffer (or nil, which append grows); release
+// collects the possibly grown buffers back off the query tree.
+type twigBufs struct {
+	bufs [][]*xdm.Node
+	next int
+}
+
+var twigBufsPool = sync.Pool{New: func() any { return new(twigBufs) }}
+
+func getTwigBufs() *twigBufs { return twigBufsPool.Get().(*twigBufs) }
+
+func (a *twigBufs) get() []*xdm.Node {
+	if a.next < len(a.bufs) {
+		b := a.bufs[a.next]
+		a.next++
+		return b[:0]
+	}
+	return nil
+}
+
+func (a *twigBufs) release(root *qnode) {
+	a.bufs = a.bufs[:0]
+	var walk func(*qnode)
+	walk = func(q *qnode) {
+		a.bufs = append(a.bufs, q.stack[:0], q.cand[:0], q.valid[:0])
+		for _, c := range q.children {
+			walk(c)
+		}
+	}
+	walk(root)
+	a.next = 0
+	twigBufsPool.Put(a)
 }
 
 // buildQuery turns the pattern into a query tree with region-restricted
 // streams. The virtual root is the context node itself.
-func buildQuery(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) *qnode {
-	root := &qnode{test: xdm.AnyNodeTest(), cand: []*xdm.Node{ctx}, valid: []*xdm.Node{ctx}}
-	root.stack = []stackEntry{{node: ctx}}
+func buildQuery(p *Prepared, ctx *xdm.Node, arena *twigBufs) *qnode {
+	root := &qnode{test: xdm.AnyNodeTest()}
+	root.cand = append(arena.get(), ctx)
+	root.valid = append(arena.get(), ctx)
+	root.stack = append(arena.get(), ctx)
 	var build func(parent *qnode, s *pattern.Step)
 	build = func(parent *qnode, s *pattern.Step) {
 		q := &qnode{axis: s.Axis, test: s.Test, out: s.Out != "", parent: parent}
-		q.stream = streamWithin(ix, ctx, s.Axis, s.Test)
+		q.stream = xmlstore.RegionSlice(p.stream(s), ctx)
+		q.stack = arena.get()
+		q.cand = arena.get()
+		q.valid = arena.get()
 		parent.children = append(parent.children, q)
-		for _, p := range s.Preds {
-			build(q, p)
+		for _, pr := range s.Preds {
+			build(q, pr)
 		}
 		if s.Next != nil {
 			build(q, s.Next)
 		}
 	}
-	build(root, pat.Root)
+	build(root, p.pat.Root)
 	return root
-}
-
-func streamWithin(ix *xmlstore.Index, ctx *xdm.Node, axis xdm.Axis, test xdm.NodeTest) []*xdm.Node {
-	return xmlstore.RegionSlice(ix.StreamFor(axis, test), ctx)
 }
 
 func (q *qnode) exhausted() bool { return q.pos >= len(q.stream) }
@@ -108,7 +146,7 @@ func runTwigStack(root *qnode) {
 		// Clean ancestor stacks of entries that end before n.
 		cleanStacks(root, n)
 		if q.parent.topContains(n) {
-			q.stack = append(q.stack, stackEntry{node: n})
+			q.stack = append(q.stack, n)
 			q.cand = append(q.cand, n)
 			if q.isLeaf() {
 				// Leaves never gain children; keep the stack shallow.
@@ -146,10 +184,10 @@ func cleanStacks(root *qnode, n *xdm.Node) {
 	walk = func(q *qnode) {
 		for len(q.stack) > 0 {
 			top := q.stack[len(q.stack)-1]
-			if top.node.Doc == n.Doc && top.node.End() >= n.Pre {
+			if top.Doc == n.Doc && top.End() >= n.Pre {
 				break
 			}
-			if top.node == n.Doc.Root || top.node.Contains(n) {
+			if top == n.Doc.Root || top.Contains(n) {
 				break
 			}
 			q.stack = q.stack[:len(q.stack)-1]
@@ -168,7 +206,7 @@ func cleanStacks(root *qnode, n *xdm.Node) {
 // left to refinement for child edges.
 func (q *qnode) topContains(n *xdm.Node) bool {
 	for i := len(q.stack) - 1; i >= 0; i-- {
-		e := q.stack[i].node
+		e := q.stack[i]
 		if e == n.Doc.Root || e.Contains(n) {
 			return true
 		}

@@ -50,15 +50,17 @@ type Node struct {
 	Attrs    []*Node // attribute nodes
 
 	Pre, Post, Size, Level int
+	Sym                    Sym // interned Name (assigned by Finalize; NoSym if unnamed)
 	Doc                    *Tree
 }
 
 // Tree is a document: the document node plus the pre-order array of all its
 // nodes (the base table that the index streams are views over).
 type Tree struct {
-	ID    int     // document identifier for cross-document ordering
-	Root  *Node   // the document node
-	Nodes []*Node // all nodes, indexed by Pre
+	ID    int      // document identifier for cross-document ordering
+	Root  *Node    // the document node
+	Nodes []*Node  // all nodes, indexed by Pre
+	Syms  *Symbols // interned element/attribute names (immutable after Finalize)
 }
 
 // NewElement returns a detached element node.
@@ -93,21 +95,28 @@ var nextTreeID atomic.Int64
 // encodings to every node and returns the resulting Tree. The tree must not
 // be mutated afterwards.
 func Finalize(root *Node) *Tree {
-	doc := &Node{Kind: DocumentNode}
+	doc := &Node{Kind: DocumentNode, Sym: NoSym}
 	doc.AppendChild(root)
-	t := &Tree{Root: doc, ID: int(nextTreeID.Add(1))}
+	t := &Tree{Root: doc, ID: int(nextTreeID.Add(1)), Syms: newSymbols()}
 	pre, post := 0, 0
 	var walk func(n *Node, level int)
 	walk = func(n *Node, level int) {
 		n.Pre = pre
 		n.Level = level
 		n.Doc = t
+		switch n.Kind {
+		case ElementNode, AttributeNode:
+			n.Sym = t.Syms.intern(n.Name)
+		default:
+			n.Sym = NoSym
+		}
 		pre++
 		t.Nodes = append(t.Nodes, n)
 		for _, a := range n.Attrs {
 			a.Pre = pre
 			a.Level = level + 1
 			a.Doc = t
+			a.Sym = t.Syms.intern(a.Name)
 			a.Size = 0
 			a.Post = post
 			post++

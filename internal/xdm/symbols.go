@@ -1,0 +1,57 @@
+package xdm
+
+// Sym is an interned element/attribute name: a small integer assigned per
+// tree at Finalize time. Symbol IDs index the per-tag stream tables of the
+// store directly, so the join loops never hash name strings — the same
+// access-structure trick native XML engines use for their label paths.
+type Sym int32
+
+// NoSym marks nodes without a name (document and text nodes) and lookups of
+// names absent from the tree.
+const NoSym Sym = -1
+
+// Symbols is a tree's symbol table: a bijection between the element and
+// attribute names occurring in the document and the dense ID range
+// [0, Len()). The table is immutable after Finalize, so concurrent readers
+// need no synchronization.
+type Symbols struct {
+	byName map[string]Sym
+	names  []string
+}
+
+func newSymbols() *Symbols {
+	return &Symbols{byName: make(map[string]Sym)}
+}
+
+// intern returns the ID for name, assigning the next free ID on first use.
+func (st *Symbols) intern(name string) Sym {
+	if s, ok := st.byName[name]; ok {
+		return s
+	}
+	s := Sym(len(st.names))
+	st.byName[name] = s
+	st.names = append(st.names, name)
+	return s
+}
+
+// Lookup resolves a name to its symbol. Names that do not occur in the tree
+// return (NoSym, false) — for a query name test this means the matching
+// stream is empty, no fallback scan needed.
+func (st *Symbols) Lookup(name string) (Sym, bool) {
+	s, ok := st.byName[name]
+	if !ok {
+		return NoSym, false
+	}
+	return s, true
+}
+
+// Name returns the string for a symbol.
+func (st *Symbols) Name(s Sym) string {
+	if s < 0 || int(s) >= len(st.names) {
+		return ""
+	}
+	return st.names[s]
+}
+
+// Len returns the number of distinct interned names.
+func (st *Symbols) Len() int { return len(st.names) }

@@ -1,0 +1,61 @@
+package xmlstore
+
+import (
+	"sync"
+
+	"xqtp/internal/xdm"
+)
+
+// Catalog is a concurrency-safe document→index store: each tree's index is
+// built exactly once, no matter how many goroutines ask for it
+// concurrently. A catalog shared between a Document and every engine that
+// queries it is what makes the serving path index-once — Run can be called
+// from many goroutines with zero per-run index work.
+//
+// Catalogs hold strong references to their trees; they are meant to live
+// with the documents they index (a Document owns one), not as a process-wide
+// registry of transient trees. The zero value is ready to use.
+type Catalog struct {
+	m sync.Map // *xdm.Tree -> *catalogEntry
+}
+
+type catalogEntry struct {
+	once sync.Once
+	ix   *Index
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog { return &Catalog{} }
+
+// Index returns the index for t, building it on first request. Concurrent
+// callers for the same tree block on one build and share its result.
+func (c *Catalog) Index(t *xdm.Tree) *Index {
+	v, ok := c.m.Load(t)
+	if !ok {
+		v, _ = c.m.LoadOrStore(t, &catalogEntry{})
+	}
+	e := v.(*catalogEntry)
+	e.once.Do(func() { e.ix = BuildIndex(t) })
+	return e.ix
+}
+
+// Register installs a prebuilt index. If the tree is already cataloged the
+// existing index wins (indexes over the same tree are interchangeable).
+func (c *Catalog) Register(ix *Index) {
+	v, ok := c.m.Load(ix.Tree)
+	if !ok {
+		v, _ = c.m.LoadOrStore(ix.Tree, &catalogEntry{})
+	}
+	e := v.(*catalogEntry)
+	e.once.Do(func() { e.ix = ix })
+}
+
+// Drop removes a tree's index (e.g. when a document is unloaded).
+func (c *Catalog) Drop(t *xdm.Tree) { c.m.Delete(t) }
+
+// Len returns the number of cataloged documents.
+func (c *Catalog) Len() int {
+	n := 0
+	c.m.Range(func(_, _ any) bool { n++; return true })
+	return n
+}

@@ -10,34 +10,105 @@ import (
 // streams and per-name attribute streams, each sorted by preorder rank.
 // These streams are the inputs of the staircase and twig join algorithms —
 // the moral equivalent of an element-tag B-tree in a disk-based store.
+//
+// Streams are keyed by the tree's interned symbol IDs (xdm.Sym), so a
+// resolved name test reaches its stream by a slice index instead of a string
+// hash; names absent from the document resolve to the empty stream via the
+// symbol-table lookup. The merged streams that older revisions rebuilt per
+// call (node() over elements+text, the all-attributes stream) are
+// precomputed once here. An Index is immutable after BuildIndex and safe for
+// concurrent readers.
 type Index struct {
 	Tree *xdm.Tree
 
-	elemByTag  map[string][]*xdm.Node
-	attrByName map[string][]*xdm.Node
-	allElems   []*xdm.Node
-	allText    []*xdm.Node
+	elemBySym [][]*xdm.Node // element streams, indexed by xdm.Sym
+	attrBySym [][]*xdm.Node // attribute streams, indexed by xdm.Sym
+	allElems  []*xdm.Node
+	allText   []*xdm.Node
+	allNodes  []*xdm.Node // elements and texts merged by pre (node() stream)
+	allAttrs  []*xdm.Node // every attribute, by pre (attribute::* stream)
 }
 
-// BuildIndex scans the tree once and constructs its index.
+// BuildIndex scans the tree twice — once to size every stream exactly, once
+// to fill them — and constructs its index.
 func BuildIndex(t *xdm.Tree) *Index {
+	nsyms := t.Syms.Len()
 	ix := &Index{
-		Tree:       t,
-		elemByTag:  make(map[string][]*xdm.Node),
-		attrByName: make(map[string][]*xdm.Node),
+		Tree:      t,
+		elemBySym: make([][]*xdm.Node, nsyms),
+		attrBySym: make([][]*xdm.Node, nsyms),
 	}
+	elemCount := make([]int, nsyms)
+	attrCount := make([]int, nsyms)
+	var nElems, nTexts, nAttrs int
 	for _, n := range t.Nodes {
 		switch n.Kind {
 		case xdm.ElementNode:
-			ix.elemByTag[n.Name] = append(ix.elemByTag[n.Name], n)
-			ix.allElems = append(ix.allElems, n)
+			elemCount[n.Sym]++
+			nElems++
 		case xdm.AttributeNode:
-			ix.attrByName[n.Name] = append(ix.attrByName[n.Name], n)
+			attrCount[n.Sym]++
+			nAttrs++
+		case xdm.TextNode:
+			nTexts++
+		}
+	}
+	for s := 0; s < nsyms; s++ {
+		if elemCount[s] > 0 {
+			ix.elemBySym[s] = make([]*xdm.Node, 0, elemCount[s])
+		}
+		if attrCount[s] > 0 {
+			ix.attrBySym[s] = make([]*xdm.Node, 0, attrCount[s])
+		}
+	}
+	ix.allElems = make([]*xdm.Node, 0, nElems)
+	ix.allText = make([]*xdm.Node, 0, nTexts)
+	ix.allNodes = make([]*xdm.Node, 0, nElems+nTexts)
+	ix.allAttrs = make([]*xdm.Node, 0, nAttrs)
+	// t.Nodes is in preorder, so appending in scan order leaves every
+	// stream — including the merged ones — sorted by pre with no sort pass.
+	for _, n := range t.Nodes {
+		switch n.Kind {
+		case xdm.ElementNode:
+			ix.elemBySym[n.Sym] = append(ix.elemBySym[n.Sym], n)
+			ix.allElems = append(ix.allElems, n)
+			ix.allNodes = append(ix.allNodes, n)
+		case xdm.AttributeNode:
+			ix.attrBySym[n.Sym] = append(ix.attrBySym[n.Sym], n)
+			ix.allAttrs = append(ix.allAttrs, n)
 		case xdm.TextNode:
 			ix.allText = append(ix.allText, n)
+			ix.allNodes = append(ix.allNodes, n)
 		}
 	}
 	return ix
+}
+
+// ElementStreamSym returns the element stream for an interned name. Pass
+// xdm.NoSym (or any out-of-range symbol) for the empty stream.
+func (ix *Index) ElementStreamSym(s xdm.Sym) []*xdm.Node {
+	if s < 0 || int(s) >= len(ix.elemBySym) {
+		return nil
+	}
+	return ix.elemBySym[s]
+}
+
+// AttributeStreamSym returns the attribute stream for an interned name.
+func (ix *Index) AttributeStreamSym(s xdm.Sym) []*xdm.Node {
+	if s < 0 || int(s) >= len(ix.attrBySym) {
+		return nil
+	}
+	return ix.attrBySym[s]
+}
+
+// ResolveName resolves a name test to this document's symbol ID (xdm.NoSym
+// when the name does not occur, i.e. its streams are empty).
+func (ix *Index) ResolveName(name string) xdm.Sym {
+	s, ok := ix.Tree.Syms.Lookup(name)
+	if !ok {
+		return xdm.NoSym
+	}
+	return s
 }
 
 // ElementStream returns the preorder-sorted stream of nodes matching the
@@ -47,27 +118,13 @@ func BuildIndex(t *xdm.Tree) *Index {
 func (ix *Index) ElementStream(test xdm.NodeTest) []*xdm.Node {
 	switch test.Kind {
 	case xdm.TestName:
-		return ix.elemByTag[test.Name]
+		return ix.ElementStreamSym(ix.ResolveName(test.Name))
 	case xdm.TestStar:
 		return ix.allElems
 	case xdm.TestText:
 		return ix.allText
 	case xdm.TestNode:
-		// Merge elements and text nodes by pre (both already sorted).
-		out := make([]*xdm.Node, 0, len(ix.allElems)+len(ix.allText))
-		i, j := 0, 0
-		for i < len(ix.allElems) && j < len(ix.allText) {
-			if ix.allElems[i].Pre < ix.allText[j].Pre {
-				out = append(out, ix.allElems[i])
-				i++
-			} else {
-				out = append(out, ix.allText[j])
-				j++
-			}
-		}
-		out = append(out, ix.allElems[i:]...)
-		out = append(out, ix.allText[j:]...)
-		return out
+		return ix.allNodes
 	}
 	return nil
 }
@@ -77,14 +134,9 @@ func (ix *Index) ElementStream(test xdm.NodeTest) []*xdm.Node {
 func (ix *Index) AttributeStream(test xdm.NodeTest) []*xdm.Node {
 	switch test.Kind {
 	case xdm.TestName:
-		return ix.attrByName[test.Name]
+		return ix.AttributeStreamSym(ix.ResolveName(test.Name))
 	case xdm.TestStar, xdm.TestNode:
-		var out []*xdm.Node
-		for _, s := range ix.attrByName {
-			out = append(out, s...)
-		}
-		sort.Slice(out, func(i, j int) bool { return out[i].Pre < out[j].Pre })
-		return out
+		return ix.allAttrs
 	}
 	return nil
 }
@@ -109,9 +161,11 @@ func RegionSlice(stream []*xdm.Node, ctx *xdm.Node) []*xdm.Node {
 
 // Tags returns the distinct element names in the index.
 func (ix *Index) Tags() []string {
-	out := make([]string, 0, len(ix.elemByTag))
-	for t := range ix.elemByTag {
-		out = append(out, t)
+	var out []string
+	for s, stream := range ix.elemBySym {
+		if len(stream) > 0 {
+			out = append(out, ix.Tree.Syms.Name(xdm.Sym(s)))
+		}
 	}
 	sort.Strings(out)
 	return out

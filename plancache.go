@@ -1,0 +1,147 @@
+package xqtp
+
+import (
+	"container/list"
+	"sync"
+)
+
+// DefaultPlanCacheSize is the capacity of the package-level plan cache used
+// by PrepareCached.
+const DefaultPlanCacheSize = 256
+
+// PlanCache is a bounded LRU cache of compiled queries keyed by (query
+// text, compile options). A serving process prepares each distinct query
+// once and reuses the compiled plan — and, through the Query's own
+// prepared-pattern cache, the resolved join — on every subsequent request.
+//
+// All methods are safe for concurrent use. Cached *Query values are shared
+// between callers; they are immutable after compilation and safe to Run
+// from many goroutines.
+type PlanCache struct {
+	mu      sync.Mutex
+	max     int
+	lru     *list.List // front = most recently used; values are *planEntry
+	entries map[planKey]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type planKey struct {
+	query string
+	opts  CompileOptions
+}
+
+type planEntry struct {
+	key planKey
+	q   *Query
+}
+
+// NewPlanCache builds a cache holding at most size compiled queries
+// (size <= 0 falls back to DefaultPlanCacheSize).
+func NewPlanCache(size int) *PlanCache {
+	if size <= 0 {
+		size = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		max:     size,
+		lru:     list.New(),
+		entries: make(map[planKey]*list.Element, size),
+	}
+}
+
+// Prepare returns the cached compilation of query under DefaultOptions,
+// compiling and caching it on a miss.
+func (c *PlanCache) Prepare(query string) (*Query, error) {
+	return c.PrepareWithOptions(query, DefaultOptions)
+}
+
+// PrepareWithOptions returns the cached compilation of query under opts,
+// compiling and caching it on a miss. The compile itself runs outside the
+// cache lock, so a slow compilation never blocks cache hits; concurrent
+// misses on the same key may compile twice, and the first stored entry
+// wins.
+func (c *PlanCache) PrepareWithOptions(query string, opts CompileOptions) (*Query, error) {
+	if opts.ContextVar == "" {
+		// Normalize so "" and the explicit default share one entry.
+		opts.ContextVar = "dot"
+	}
+	key := planKey{query: query, opts: opts}
+	c.mu.Lock()
+	if el, ok := c.entries[key]; ok {
+		c.lru.MoveToFront(el)
+		c.hits++
+		q := el.Value.(*planEntry).q
+		c.mu.Unlock()
+		return q, nil
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	q, err := PrepareWithOptions(query, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		// Lost the race: keep the first entry so every caller shares one
+		// Query (and one prepared-pattern cache).
+		c.lru.MoveToFront(el)
+		return el.Value.(*planEntry).q, nil
+	}
+	c.entries[key] = c.lru.PushFront(&planEntry{key: key, q: q})
+	for c.lru.Len() > c.max {
+		oldest := c.lru.Back()
+		c.lru.Remove(oldest)
+		delete(c.entries, oldest.Value.(*planEntry).key)
+		c.evictions++
+	}
+	return q, nil
+}
+
+// PlanCacheStats is a snapshot of cache activity.
+type PlanCacheStats struct {
+	Size      int    // entries currently cached
+	Capacity  int    // maximum entries
+	Hits      uint64 // lookups served from cache
+	Misses    uint64 // lookups that compiled
+	Evictions uint64 // entries dropped by the LRU bound
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PlanCache) Stats() PlanCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return PlanCacheStats{
+		Size:      c.lru.Len(),
+		Capacity:  c.max,
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+	}
+}
+
+// Reset empties the cache and zeroes its counters.
+func (c *PlanCache) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[planKey]*list.Element, c.max)
+	c.hits, c.misses, c.evictions = 0, 0, 0
+}
+
+// defaultPlanCache backs PrepareCached / PrepareCachedWithOptions.
+var defaultPlanCache = NewPlanCache(DefaultPlanCacheSize)
+
+// PrepareCached is Prepare backed by a process-wide bounded LRU plan cache:
+// the serving-path entry point for repeated queries.
+func PrepareCached(query string) (*Query, error) {
+	return defaultPlanCache.Prepare(query)
+}
+
+// PrepareCachedWithOptions is PrepareWithOptions backed by the process-wide
+// plan cache.
+func PrepareCachedWithOptions(query string, opts CompileOptions) (*Query, error) {
+	return defaultPlanCache.PrepareWithOptions(query, opts)
+}

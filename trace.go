@@ -7,6 +7,7 @@ import (
 	"xqtp/internal/algebra"
 	"xqtp/internal/compile"
 	"xqtp/internal/core"
+	"xqtp/internal/exec"
 	"xqtp/internal/optimize"
 	"xqtp/internal/parser"
 	"xqtp/internal/rewrite"
@@ -75,6 +76,7 @@ func PrepareTraced(query string) (*Query, *Trace, error) {
 		plan:      plan,
 		optimized: optimized,
 		freeVars:  free,
+		preps:     exec.NewPrepCache(),
 	}
 	return q, tr, nil
 }

@@ -74,10 +74,13 @@ const (
 // (NL, TJ, SC).
 var Algorithms = []Algorithm{NestedLoop, Twig, Staircase}
 
-// Document is a loaded XML document with its index structures.
+// Document is a loaded XML document with its index structures. A Document
+// is immutable after load and safe for concurrent Run calls; its catalog
+// hands every engine the same prebuilt index.
 type Document struct {
-	tree  *xdm.Tree
-	index *xmlstore.Index
+	tree    *xdm.Tree
+	index   *xmlstore.Index
+	catalog *xmlstore.Catalog
 }
 
 // LoadXML parses an XML document and builds its tag-stream index.
@@ -97,7 +100,8 @@ func LoadXMLString(s string) (*Document, error) {
 // newDocument wraps an already-built tree (used by the generators and the
 // benchmark harness).
 func newDocument(t *xdm.Tree) *Document {
-	return &Document{tree: t, index: xmlstore.BuildIndex(t)}
+	cat := xmlstore.NewCatalog()
+	return &Document{tree: t, index: cat.Index(t), catalog: cat}
 }
 
 // Root returns the document node.
@@ -169,6 +173,11 @@ type Query struct {
 	plan      algebra.Expr
 	optimized algebra.Expr
 	freeVars  []string
+
+	// preps caches (pattern, document, algorithm) join preparations across
+	// runs of this query, so serving workloads resolve each pattern's tag
+	// streams once per document instead of once per Run call.
+	preps *exec.PrepCache
 }
 
 // Prepare compiles a query with the default options.
@@ -212,6 +221,7 @@ func PrepareWithOptions(query string, opts CompileOptions) (*Query, error) {
 		plan:      plan,
 		optimized: plan,
 		freeVars:  free,
+		preps:     exec.NewPrepCache(),
 	}
 	if opts.TreePatterns {
 		q.optimized = optimize.Optimize(plan, optimize.Options{
@@ -232,17 +242,28 @@ func MustPrepare(query string) *Query {
 	return q
 }
 
+// engine builds an execution engine that shares the document's catalog and
+// the query's prepared-pattern cache, so repeated runs do no index builds
+// and no pattern re-preparation.
+func (q *Query) engine(doc *Document, alg Algorithm, vars map[string]xdm.Sequence) *exec.Engine {
+	return &exec.Engine{
+		Vars:      vars,
+		Algorithm: alg,
+		Catalog:   doc.catalog,
+		Preps:     q.preps,
+	}
+}
+
 // Run evaluates the query against a document with the given algorithm.
 // Every free variable of the query ($d, $input, …) and the context item are
-// bound to the document node.
+// bound to the document node. Run is safe to call concurrently from many
+// goroutines on the same Query and Document.
 func (q *Query) Run(doc *Document, alg Algorithm) (Sequence, error) {
 	vars := map[string]xdm.Sequence{}
 	for _, v := range q.freeVars {
 		vars[v] = xdm.Singleton(doc.tree.Root)
 	}
-	en := exec.NewEngine(alg, vars)
-	en.UseIndex(doc.index)
-	return en.Run(q.optimized)
+	return q.engine(doc, alg, vars).Run(q.optimized)
 }
 
 // RunParallel evaluates like Run but allows the TupleTreePattern operator
@@ -253,17 +274,14 @@ func (q *Query) RunParallel(doc *Document, alg Algorithm, workers int) (Sequence
 	for _, v := range q.freeVars {
 		vars[v] = xdm.Singleton(doc.tree.Root)
 	}
-	en := exec.NewEngine(alg, vars)
+	en := q.engine(doc, alg, vars)
 	en.Parallel = workers
-	en.UseIndex(doc.index)
 	return en.Run(q.optimized)
 }
 
 // RunWithVars evaluates the query with explicit variable bindings.
 func (q *Query) RunWithVars(doc *Document, alg Algorithm, vars map[string]Sequence) (Sequence, error) {
-	en := exec.NewEngine(alg, vars)
-	en.UseIndex(doc.index)
-	return en.Run(q.optimized)
+	return q.engine(doc, alg, vars).Run(q.optimized)
 }
 
 // Plan returns the optimized plan in the paper's functional notation.
