@@ -4,7 +4,7 @@ GO ?= go
 # caches, parallel TupleTreePattern workers) get a dedicated -race run.
 RACE_PKGS = ./internal/exec ./internal/join
 
-.PHONY: all build vet test race check bench serve clean
+.PHONY: all build vet test race check bench serve bench-compare clean
 
 all: check
 
@@ -13,6 +13,8 @@ build:
 
 vet:
 	$(GO) vet ./...
+	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -29,6 +31,13 @@ bench:
 # Concurrent serving benchmark; -cpu exercises the QPS scaling.
 serve:
 	$(GO) test -bench Serve -benchmem -cpu 1,4 .
+
+# Compare two treebench JSON reports (table1 or serve):
+#   make bench-compare OLD=BENCH_table1.json NEW=/tmp/new.json
+bench-compare:
+	@test -n "$(OLD)" -a -n "$(NEW)" || \
+		{ echo "usage: make bench-compare OLD=old.json NEW=new.json"; exit 2; }
+	$(GO) run ./cmd/benchdiff $(OLD) $(NEW)
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,121 @@
+// Command benchdiff compares two benchmark reports produced by treebench
+// (BENCH_table1.json or BENCH_serve.json) and prints the per-cell deltas.
+// It exits non-zero on malformed input or when the two files hold different
+// report kinds, so it can gate CI and Makefile comparisons.
+//
+// Usage:
+//
+//	benchdiff OLD.json NEW.json
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"xqtp"
+)
+
+// report is the union of the two treebench report shapes; the populated
+// slice identifies the kind.
+type report struct {
+	Cells   []xqtp.Table1Cell  `json:"cells"`
+	Results []xqtp.ServeResult `json:"results"`
+}
+
+func load(path string) (report, error) {
+	var r report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(r.Cells) == 0 && len(r.Results) == 0 {
+		return r, fmt.Errorf("%s: no cells or results", path)
+	}
+	return r, nil
+}
+
+func pct(old, new float64) string {
+	if old == 0 {
+		return "    n/a"
+	}
+	return fmt.Sprintf("%+6.1f%%", (new-old)/old*100)
+}
+
+func diffTable1(old, new []xqtp.Table1Cell) {
+	type key struct {
+		query, alg string
+		bytes      int
+	}
+	prev := make(map[key]xqtp.Table1Cell, len(old))
+	for _, c := range old {
+		prev[key{c.Query, c.Algorithm, c.DocumentBytes}] = c
+	}
+	fmt.Printf("%-6s %-5s %-10s %22s %22s %20s\n",
+		"query", "alg", "doc", "ns/op old→new", "B/op old→new", "allocs old→new")
+	for _, c := range new {
+		o, ok := prev[key{c.Query, c.Algorithm, c.DocumentBytes}]
+		if !ok {
+			fmt.Printf("%-6s %-5s %-10.1fMB  (new cell)\n", c.Query, c.Algorithm, float64(c.DocumentBytes)/1e6)
+			continue
+		}
+		fmt.Printf("%-6s %-5s %-10s %9.0f→%-9.0f %s %8d→%-8d %s %6d→%-6d %s\n",
+			c.Query, c.Algorithm, fmt.Sprintf("%.1fMB", float64(c.DocumentBytes)/1e6),
+			o.NsPerOp, c.NsPerOp, pct(o.NsPerOp, c.NsPerOp),
+			o.BytesPerOp, c.BytesPerOp, pct(float64(o.BytesPerOp), float64(c.BytesPerOp)),
+			o.AllocsPerOp, c.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(c.AllocsPerOp)))
+	}
+}
+
+func diffServe(old, new []xqtp.ServeResult) {
+	type key struct {
+		alg   string
+		procs int
+	}
+	prev := make(map[key]xqtp.ServeResult, len(old))
+	for _, r := range old {
+		prev[key{r.Algorithm, r.Procs}] = r
+	}
+	fmt.Printf("%-6s %-6s %22s %22s %20s\n",
+		"alg", "procs", "qps old→new", "B/op old→new", "allocs old→new")
+	for _, r := range new {
+		o, ok := prev[key{r.Algorithm, r.Procs}]
+		if !ok {
+			fmt.Printf("%-6s %-6d (new row)\n", r.Algorithm, r.Procs)
+			continue
+		}
+		fmt.Printf("%-6s %-6d %9.0f→%-9.0f %s %8d→%-8d %s %6d→%-6d %s\n",
+			r.Algorithm, r.Procs,
+			o.QPS, r.QPS, pct(o.QPS, r.QPS),
+			o.BytesPerOp, r.BytesPerOp, pct(float64(o.BytesPerOp), float64(r.BytesPerOp)),
+			o.AllocsPerOp, r.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+		os.Exit(2)
+	}
+	oldR, err := load(os.Args[1])
+	if err == nil {
+		var newR report
+		if newR, err = load(os.Args[2]); err == nil {
+			switch {
+			case len(oldR.Cells) > 0 && len(newR.Cells) > 0:
+				diffTable1(oldR.Cells, newR.Cells)
+			case len(oldR.Results) > 0 && len(newR.Results) > 0:
+				diffServe(oldR.Results, newR.Results)
+			default:
+				err = fmt.Errorf("reports are of different kinds")
+			}
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}

@@ -6,7 +6,8 @@
 //
 //	treebench -exp all            # every experiment at paper scale
 //	treebench -exp table1 -quick  # one experiment at reduced scale
-//	treebench -exp serve -json BENCH_serve.json  # concurrent serving QPS
+//	treebench -exp table1 -json BENCH_table1.json  # per-cell ns/allocs/bytes
+//	treebench -exp serve -json BENCH_serve.json -cpus 1,2,4  # serving QPS
 package main
 
 import (
@@ -14,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"xqtp"
 )
@@ -24,9 +27,22 @@ func main() {
 		quick    = flag.Bool("quick", false, "reduced document sizes for a fast run")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		repeats  = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
-		jsonPath = flag.String("json", "", "write the serve report as JSON to this file (serve only)")
+		jsonPath = flag.String("json", "", "write the report as JSON to this file (table1 and serve)")
+		cpusFlag = flag.String("cpus", "", "comma-separated GOMAXPROCS settings to measure (serve only, e.g. 1,2,4)")
 	)
 	flag.Parse()
+
+	var cpus []int
+	if *cpusFlag != "" {
+		for _, part := range strings.Split(*cpusFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				fmt.Fprintf(os.Stderr, "treebench: bad -cpus entry %q\n", part)
+				os.Exit(2)
+			}
+			cpus = append(cpus, n)
+		}
+	}
 
 	opts := xqtp.DefaultExperimentOptions()
 	if *quick {
@@ -45,13 +61,13 @@ func main() {
 	case "fig4":
 		err = xqtp.RunFigure4(w, opts)
 	case "table1":
-		err = xqtp.RunTable1(w, opts)
+		err = xqtp.RunTable1(w, opts, *jsonPath)
 	case "fig6":
 		err = xqtp.RunFigure6(w, opts)
 	case "sec53":
 		err = xqtp.RunSection53(w, opts)
 	case "serve":
-		err = xqtp.RunServe(w, opts, *jsonPath)
+		err = xqtp.RunServe(w, opts, *jsonPath, cpus)
 	case "all":
 		err = xqtp.RunAll(w, opts)
 	default:

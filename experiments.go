@@ -1,8 +1,11 @@
 package xqtp
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"runtime"
 	"sort"
 	"time"
 )
@@ -56,27 +59,63 @@ func QuickExperimentOptions() ExperimentOptions {
 
 // timeQuery measures the median evaluation time of a prepared query.
 func timeQuery(q *Query, doc *Document, alg Algorithm, repeats int) (time.Duration, error) {
+	d, _, _, err := measureQuery(q, doc, alg, repeats)
+	return d, err
+}
+
+// measureQuery measures the median evaluation time and the steady-state
+// allocation footprint (allocations and bytes per run, from MemStats deltas
+// over the timed runs; one warm-up run populates the plan and index caches
+// so the deltas reflect serving state, not first-run setup).
+func measureQuery(q *Query, doc *Document, alg Algorithm, repeats int) (time.Duration, int64, int64, error) {
 	if repeats < 1 {
 		repeats = 1
 	}
+	if _, err := q.Run(doc, alg); err != nil {
+		return 0, 0, 0, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	times := make([]time.Duration, 0, repeats)
 	for i := 0; i < repeats; i++ {
 		start := time.Now()
 		if _, err := q.Run(doc, alg); err != nil {
-			return 0, err
+			return 0, 0, 0, err
 		}
 		times = append(times, time.Since(start))
 	}
+	runtime.ReadMemStats(&after)
+	allocs := int64(after.Mallocs-before.Mallocs) / int64(repeats)
+	bytes := int64(after.TotalAlloc-before.TotalAlloc) / int64(repeats)
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
-	return times[len(times)/2], nil
+	return times[len(times)/2], allocs, bytes, nil
 }
 
 func seconds(d time.Duration) string { return fmt.Sprintf("%.5f", d.Seconds()) }
 
+// Table1Cell is one measurement of the Table 1 experiment.
+type Table1Cell struct {
+	Query         string  `json:"query"`
+	Algorithm     string  `json:"algorithm"`
+	DocumentBytes int     `json:"document_bytes"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+}
+
+// Table1Report is the machine-readable output of RunTable1.
+type Table1Report struct {
+	Seed    int64        `json:"seed"`
+	Repeats int          `json:"repeats"`
+	Cells   []Table1Cell `json:"cells"`
+}
+
 // RunTable1 regenerates Table 1: evaluation time of QE1–QE6 under NLJoin,
 // TwigJoin and SCJoin over MemBeR documents of growing size. The fastest
-// algorithm per cell row group is marked with '*'.
-func RunTable1(w io.Writer, opts ExperimentOptions) error {
+// algorithm per cell row group is marked with '*'. If jsonPath is non-empty
+// a machine-readable report (ns/op, allocs/op, bytes/op per cell) is also
+// written there.
+func RunTable1(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 	fmt.Fprintf(w, "Table 1: QE1-QE6 evaluation time (seconds), MemBeR documents (depth 4, 100 tags)\n\n")
 	docs := make([]*Document, len(opts.Table1Sizes))
 	fmt.Fprintf(w, "%-10s", "doc size")
@@ -86,6 +125,7 @@ func RunTable1(w io.Writer, opts ExperimentOptions) error {
 	}
 	fmt.Fprintln(w)
 	algs := []Algorithm{NestedLoop, Twig, Staircase}
+	report := Table1Report{Seed: opts.Seed, Repeats: opts.Repeats}
 	for _, pq := range QEQueries {
 		q, err := PrepareCached(pq.Query)
 		if err != nil {
@@ -96,11 +136,19 @@ func RunTable1(w io.Writer, opts ExperimentOptions) error {
 		for ai, alg := range algs {
 			cells[ai] = make([]time.Duration, len(docs))
 			for di, doc := range docs {
-				d, err := timeQuery(q, doc, alg, opts.Repeats)
+				d, allocs, bytes, err := measureQuery(q, doc, alg, opts.Repeats)
 				if err != nil {
 					return fmt.Errorf("%s/%v: %w", pq.Name, alg, err)
 				}
 				cells[ai][di] = d
+				report.Cells = append(report.Cells, Table1Cell{
+					Query:         pq.Name,
+					Algorithm:     shortAlg(alg),
+					DocumentBytes: opts.Table1Sizes[di],
+					NsPerOp:       float64(d.Nanoseconds()),
+					AllocsPerOp:   allocs,
+					BytesPerOp:    bytes,
+				})
 			}
 		}
 		for ai, alg := range algs {
@@ -127,6 +175,16 @@ func RunTable1(w io.Writer, opts ExperimentOptions) error {
 		}
 	}
 	fmt.Fprintln(w, "\n(* = fastest algorithm for that query and document size)")
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(report written to %s)\n", jsonPath)
+	}
 	return nil
 }
 
@@ -291,7 +349,7 @@ func RunAll(w io.Writer, opts ExperimentOptions) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	if err := RunTable1(w, opts); err != nil {
+	if err := RunTable1(w, opts, ""); err != nil {
 		return err
 	}
 	fmt.Fprintln(w)

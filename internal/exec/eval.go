@@ -2,7 +2,7 @@ package exec
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -383,7 +383,6 @@ func (en *Engine) evalTTP(ttp *algebra.TupleTreePattern, sc *scope, firstOnly bo
 	if err != nil {
 		return Value{}, err
 	}
-	fields := ttp.Pattern.OutputFields()
 	// Collect the (tuple, context node) work list.
 	type work struct {
 		tuple *Tuple
@@ -421,11 +420,27 @@ func (en *Engine) evalTTP(ttp *algebra.TupleTreePattern, sc *scope, firstOnly bo
 		}
 		items[i].prep = lastPrep
 	}
+	var fields []string
+	if len(items) > 0 {
+		// All items share the pattern; the prepared form resolved the output
+		// fields once. With zero items the fields are never read.
+		fields = items[0].prep.OutputFields()
+	}
 	if firstOnly && len(items) == 1 {
 		b, found := items[0].prep.EvalFirst(items[0].ctx)
 		var rows []row
 		if found {
 			rows = append(rows, row{tuple: items[0].tuple, binding: b})
+		}
+		return en.ttpOutput(rows, fields, firstOnly)
+	}
+	if len(items) == 1 {
+		// One context node (the common case after rewrites root the pattern
+		// at the document): no per-item fan-out bookkeeping.
+		bs := items[0].prep.Eval(items[0].ctx)
+		rows := make([]row, len(bs))
+		for i, b := range bs {
+			rows[i] = row{tuple: items[0].tuple, binding: b}
 		}
 		return en.ttpOutput(rows, fields, firstOnly)
 	}
@@ -472,9 +487,17 @@ func (en *Engine) evalTTP(ttp *algebra.TupleTreePattern, sc *scope, firstOnly bo
 func (en *Engine) ttpOutput(rows []row, fields []string, firstOnly bool) (Value, error) {
 	// Root-to-leaf lexical document order over the binding vectors, then
 	// duplicate-binding elimination.
-	sort.SliceStable(rows, func(i, j int) bool {
-		return compareBindings(rows[i].binding, rows[j].binding) < 0
+	slices.SortStableFunc(rows, func(a, b row) int {
+		return compareBindings(a.binding, b.binding)
 	})
+	// The output tuples and their singleton field sequences come from two
+	// arenas sized up front, so emitting n rows costs three allocations, not
+	// 2n. The tuple arena never grows past its capacity, which keeps the
+	// parent pointers taken below stable.
+	nf := len(fields)
+	arena := make([]Tuple, 0, len(rows)*nf)
+	itemArena := make([]xdm.Item, len(rows)*nf)
+	ti := 0
 	out := make([]*Tuple, 0, len(rows))
 	for i, r := range rows {
 		if i > 0 && compareBindings(rows[i-1].binding, r.binding) == 0 {
@@ -482,7 +505,10 @@ func (en *Engine) ttpOutput(rows []row, fields []string, firstOnly bool) (Value,
 		}
 		t := r.tuple
 		for k, f := range fields {
-			t = t.Extend(f, xdm.Singleton(r.binding[k]))
+			itemArena[ti] = r.binding[k]
+			arena = append(arena, Tuple{name: f, val: itemArena[ti : ti+1 : ti+1], parent: t})
+			t = &arena[len(arena)-1]
+			ti++
 		}
 		out = append(out, t)
 	}

@@ -18,18 +18,18 @@ import (
 //     scans every stream once.
 const Auto Algorithm = 255
 
-// streamFn resolves a pattern step to its full-document tag stream. The
+// streamFn resolves a pattern step to its full-document rank stream. The
 // Prepared form passes its pre-resolved table; the one-shot Choose hits the
 // index directly.
-type streamFn func(*pattern.Step) []*xdm.Node
+type streamFn func(*pattern.Step) []int32
 
 // Choose estimates the cost of each algorithm for evaluating pat from ctx
 // and returns the cheapest. The estimates count index-stream entries and
 // tree nodes touched.
 func Choose(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) Algorithm {
 	_, single := pat.SingleOutput()
-	return choose(ctx, pat, single, func(s *pattern.Step) []*xdm.Node {
-		return ix.StreamFor(s.Axis, s.Test)
+	return choose(ctx, pat, single, func(s *pattern.Step) []int32 {
+		return ix.RanksFor(s.Axis, s.Test)
 	})
 }
 
@@ -109,13 +109,13 @@ func costTJ(ctx *xdm.Node, pat *pattern.Pattern, single bool, streams streamFn) 
 }
 
 // streamLen approximates the number of stream entries inside the context
-// region.
+// region (a pair of binary searches; no slice is formed).
 func streamLen(ctx *xdm.Node, s *pattern.Step, streams streamFn) int {
 	stream := streams(s)
 	if ctx.Kind == xdm.DocumentNode {
 		return len(stream)
 	}
-	return len(xmlstore.RegionSlice(stream, ctx))
+	return xmlstore.RegionCount(stream, int32(ctx.Pre), int32(ctx.End()))
 }
 
 func chainLen(s *pattern.Step) int {

@@ -8,9 +8,12 @@ import (
 
 // Prepared is a tree pattern compiled against one document's index: the
 // pattern is validated once, algorithm applicability is decided once, and
-// every step's node test is resolved to its pre-sorted tag stream once —
-// the compile-once half of the serving path. After that, Eval per context
-// node does no string hashing and no per-run setup.
+// every step's node test is resolved to its pre-sorted integer rank stream
+// and its columnar test (interned symbol + principal kind) once — the
+// compile-once half of the serving path. After that, Eval per context node
+// does no string hashing and no per-run setup, and the set-at-a-time kernels
+// run entirely on int32 ranks against the tree's columns; nodes materialize
+// only in the returned bindings.
 //
 // A Prepared is immutable and safe for concurrent Eval/EvalFirst calls from
 // many goroutines (the evaluation scratch comes from internal pools).
@@ -19,13 +22,82 @@ type Prepared struct {
 	ix  *xmlstore.Index
 	pat *pattern.Pattern
 
-	single    bool // single output annotation at the extraction point
-	scOK      bool // staircase supports every axis
-	twigOK    bool // twig supports every edge/test
-	streamOK  bool // streaming automaton supports the spine
-	childOnly bool // spine has child/attribute/self steps only
+	fields    []string // output fields, root-to-leaf (cached: OutputFields walks)
+	single    bool     // single output annotation at the extraction point
+	scOK      bool     // staircase supports every axis
+	twigOK    bool     // twig supports every edge/test
+	streamOK  bool     // streaming automaton supports the spine
+	childOnly bool     // spine has child/attribute/self steps only
 
-	streams map[*pattern.Step][]*xdm.Node // per-step resolved tag streams
+	cols    *xdm.Cols                 // the document's region-encoding columns
+	spine   []cstep                   // compiled steps, spine order
+	streams map[*pattern.Step][]int32 // per-step streams for the cost model
+}
+
+// cstep is one compiled pattern step: the axis, the columnar node test, the
+// resolved rank stream, and the compiled predicate chains. The spine and
+// each predicate chain are flat slices, so the kernels walk plain arrays —
+// no map lookups and no step-pointer chasing in the hot loops.
+type cstep struct {
+	axis   xdm.Axis
+	test   rankTest
+	stream []int32
+	out    bool
+	preds  [][]cstep
+}
+
+// compileChain compiles a step chain (the spine or a predicate branch).
+func compileChain(ix *xmlstore.Index, s *pattern.Step) []cstep {
+	var out []cstep
+	for c := s; c != nil; c = c.Next {
+		cs := cstep{
+			axis:   c.Axis,
+			test:   compileRankTest(ix, c.Axis, c.Test),
+			stream: ix.RanksFor(c.Axis, c.Test),
+			out:    c.Out != "",
+		}
+		for _, pr := range c.Preds {
+			cs.preds = append(cs.preds, compileChain(ix, pr))
+		}
+		out = append(out, cs)
+	}
+	return out
+}
+
+// rankTest is a node test compiled against one document: the name resolved
+// to its interned symbol, the principal node kind fixed by the axis. A match
+// is at most two integer compares against the columns.
+type rankTest struct {
+	kind      xdm.TestKind
+	principal uint8 // element, or attribute on the attribute axis
+	sym       int32 // resolved name; int32(xdm.NoSym) when absent from the doc
+}
+
+// matches reports whether the node at pre rank r satisfies the test.
+func (t rankTest) matches(cols *xdm.Cols, r int32) bool {
+	switch t.kind {
+	case xdm.TestName:
+		return cols.Sym[r] == t.sym && cols.Kind[r] == t.principal
+	case xdm.TestStar:
+		return cols.Kind[r] == t.principal
+	case xdm.TestNode:
+		return true
+	case xdm.TestText:
+		return cols.Kind[r] == uint8(xdm.TextNode)
+	}
+	return false
+}
+
+// compileRankTest resolves a step's test against the document's symbols.
+func compileRankTest(ix *xmlstore.Index, axis xdm.Axis, test xdm.NodeTest) rankTest {
+	rt := rankTest{kind: test.Kind, principal: uint8(xdm.ElementNode), sym: int32(xdm.NoSym)}
+	if axis == xdm.AxisAttribute {
+		rt.principal = uint8(xdm.AttributeNode)
+	}
+	if test.Kind == xdm.TestName {
+		rt.sym = int32(ix.ResolveName(test.Name))
+	}
+	return rt
 }
 
 // Prepare resolves pat against ix for evaluation under alg. The index may be
@@ -36,17 +108,22 @@ func Prepare(alg Algorithm, ix *xmlstore.Index, pat *pattern.Pattern) (*Prepared
 		return nil, err
 	}
 	p := &Prepared{alg: alg, ix: ix, pat: pat}
+	p.fields = pat.OutputFields()
 	_, p.single = pat.SingleOutput()
 	p.scOK = scSupported(pat.Root)
 	p.twigOK = twigSupported(pat.Root)
 	p.streamOK = streamSupported(pat)
 	p.childOnly = spineChildOnly(pat.Root)
-	if ix != nil && (alg == Staircase || alg == Twig || alg == Auto) {
-		p.streams = make(map[*pattern.Step][]*xdm.Node, pat.Size())
+	if ix != nil && alg != NestedLoop {
+		p.cols = ix.Tree.Cols
+		p.spine = compileChain(ix, pat.Root)
+		// The cost model walks the pattern's step pointers; give it a
+		// side table (cold path: consulted once per Auto evaluation).
+		p.streams = make(map[*pattern.Step][]int32, pat.Size())
 		var walk func(*pattern.Step)
 		walk = func(s *pattern.Step) {
 			for c := s; c != nil; c = c.Next {
-				p.streams[c] = ix.StreamFor(c.Axis, c.Test)
+				p.streams[c] = ix.RanksFor(c.Axis, c.Test)
 				for _, pr := range c.Preds {
 					walk(pr)
 				}
@@ -60,9 +137,19 @@ func Prepare(alg Algorithm, ix *xmlstore.Index, pat *pattern.Pattern) (*Prepared
 // Pattern returns the prepared pattern.
 func (p *Prepared) Pattern() *pattern.Pattern { return p.pat }
 
-// stream returns the resolved tag stream of a step (pointer-keyed lookup;
-// the string hash happened once, in Prepare).
-func (p *Prepared) stream(s *pattern.Step) []*xdm.Node { return p.streams[s] }
+// OutputFields returns the pattern's output fields, root-to-leaf, resolved
+// once at preparation time.
+func (p *Prepared) OutputFields() []string { return p.fields }
+
+// stream returns the resolved rank stream of a step (cost-model side table;
+// the kernels read streams off the compiled spine instead).
+func (p *Prepared) stream(s *pattern.Step) []int32 { return p.streams[s] }
+
+// materialize crosses the output boundary: rank results become node
+// bindings. This is the only place the set-at-a-time kernels touch nodes.
+func (p *Prepared) materialize(ranks []int32) []*xdm.Node {
+	return p.ix.Tree.Materialize(ranks)
+}
 
 // Eval returns every binding of the pattern from context node ctx.
 // Single-output patterns run on the selected algorithm; patterns outside an

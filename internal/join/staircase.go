@@ -1,27 +1,28 @@
 package join
 
 import (
+	"slices"
 	"sync"
 
-	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
-	"xqtp/internal/xmlstore"
 )
 
 // scArena is the per-evaluation scratch of the staircase join: a stack of
-// candidate-list buffers handed out in LIFO order. One arena is fetched
-// from a pool per scEval call, so the per-candidate existential semi-joins
-// (scExists runs once per candidate per predicate) reuse buffers with plain
-// integer bookkeeping instead of hitting the pool in the hot loop.
+// candidate-list buffers handed out in LIFO order. Buffers hold int32 pre
+// ranks, not node pointers — half the bytes per candidate and nothing for
+// the GC to scan. One arena is fetched from a pool per scEval call, so the
+// per-candidate existential semi-joins (scExists runs once per candidate per
+// predicate) reuse buffers with plain integer bookkeeping instead of hitting
+// the pool in the hot loop.
 type scArena struct {
-	bufs [][]*xdm.Node
+	bufs [][]int32
 	next int
 }
 
 // take hands out the index of a fresh (empty) buffer.
 func (a *scArena) take() int {
 	if a.next == len(a.bufs) {
-		a.bufs = append(a.bufs, make([]*xdm.Node, 0, 64))
+		a.bufs = append(a.bufs, make([]int32, 0, 64))
 	}
 	i := a.next
 	a.next++
@@ -31,32 +32,35 @@ func (a *scArena) take() int {
 // giveBack writes a possibly-grown buffer back to its slot so the arena
 // keeps the capacity for the next use; callers then restore a.next to their
 // saved mark.
-func (a *scArena) giveBack(i int, b []*xdm.Node) { a.bufs[i] = b[:0] }
+func (a *scArena) giveBack(i int, b []int32) { a.bufs[i] = b[:0] }
 
 var scArenaPool = sync.Pool{New: func() any { return new(scArena) }}
 
 // scEval is the staircase-join evaluation of a single-output tree pattern:
 // one set-at-a-time pass per location step. Descendant steps prune the
 // context staircase (contexts covered by an earlier context are skipped)
-// and scan the pre-resolved tag stream region by region, producing
+// and scan the pre-resolved integer rank stream region by region, producing
 // duplicate-free results in document order without an explicit sort.
+// Containment and node tests are integer compares against the tree's
+// columns; no node pointer is touched until the final materialization.
 // Predicate branches are evaluated as existential semi-joins per candidate
 // — the per-candidate work is what makes SCJoin degrade on complex twigs
 // while it shines on linear paths (paper §5.2).
 //
 // The per-step candidate lists live in arena buffers (two, swapped each
-// step); only the final result is allocated, exactly sized.
+// step); only the final result materializes nodes, exactly sized.
 func scEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 	arena := scArenaPool.Get().(*scArena)
 	ai, bi := arena.take(), arena.take()
-	cur := append(arena.bufs[ai][:0], ctx)
+	cur := append(arena.bufs[ai][:0], int32(ctx.Pre))
 	next := arena.bufs[bi][:0]
-	for s := p.pat.Root; s != nil; s = s.Next {
+	for i := range p.spine {
+		s := &p.spine[i]
 		next = scStep(p, cur, s, next[:0])
-		if len(s.Preds) > 0 {
+		if len(s.preds) > 0 {
 			kept := next[:0]
 			for _, cand := range next {
-				if scPreds(p, arena, cand, s.Preds) {
+				if scPreds(p, arena, cand, s.preds) {
 					kept = append(kept, cand)
 				}
 			}
@@ -67,11 +71,7 @@ func scEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 			break
 		}
 	}
-	var out []*xdm.Node
-	if len(cur) > 0 {
-		out = make([]*xdm.Node, len(cur))
-		copy(out, cur)
-	}
+	out := p.materialize(cur)
 	arena.giveBack(ai, cur)
 	arena.giveBack(bi, next)
 	arena.next = 0
@@ -80,58 +80,71 @@ func scEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 }
 
 // scStep performs one staircase step over a document-ordered duplicate-free
-// context list, appending into dst (which must not alias ctxs).
-func scStep(p *Prepared, ctxs []*xdm.Node, s *pattern.Step, dst []*xdm.Node) []*xdm.Node {
-	axis, test := s.Axis, s.Test
+// context rank list, appending into dst (which must not alias ctxs).
+func scStep(p *Prepared, ctxs []int32, s *cstep, dst []int32) []int32 {
+	cols := p.cols
+	axis, test := s.axis, s.test
 	out := dst
 	switch axis {
 	case xdm.AxisDescendant, xdm.AxisDescendantOrSelf:
-		stream := p.stream(s)
+		stream := s.stream
 		// Staircase pruning: skip contexts covered by the previous kept
-		// context; the remaining regions are disjoint and ascending, so
-		// the concatenation of region scans is already in document order.
-		covered := -1
+		// context; the remaining regions are disjoint and ascending, so the
+		// concatenation of region scans is already in document order, and a
+		// single galloping cursor walks the stream monotonically instead of
+		// binary-searching it from scratch per context.
+		covered := int32(-1)
+		pos := 0
 		for _, c := range ctxs {
-			if c.Pre <= covered {
+			if c <= covered {
 				continue
 			}
-			covered = c.End()
-			if axis == xdm.AxisDescendantOrSelf && test.Matches(axis, c) {
+			end := cols.End(c)
+			covered = end
+			if axis == xdm.AxisDescendantOrSelf && test.matches(cols, c) {
 				out = append(out, c)
 			}
-			out = append(out, xmlstore.RegionSlice(stream, c)...)
+			pos = gallopRanks(stream, pos, c+1)
+			for pos < len(stream) && stream[pos] <= end {
+				out = append(out, stream[pos])
+				pos++
+			}
 		}
 		return out
 	case xdm.AxisChild:
-		// Constant-cost child access in the in-memory data model (the
-		// paper's note on the Galax model); set-at-a-time with a final
-		// order/duplicate repair because contexts may nest.
+		// Constant-cost child access via the size column (first child starts
+		// after the attribute run, each sibling starts one past the previous
+		// region); set-at-a-time with a final order/duplicate repair because
+		// contexts may nest.
 		for _, c := range ctxs {
-			for _, ch := range c.Children {
-				if test.Matches(axis, ch) {
+			end := cols.End(c)
+			for ch := cols.FirstChild(c); ch <= end; ch = cols.NextSibling(ch) {
+				if test.matches(cols, ch) {
 					out = append(out, ch)
 				}
 			}
 		}
-		if !sortedNodes(out) {
-			xdm.SortDoc(out)
+		if !sortedRanks(out) {
+			slices.Sort(out)
 		}
-		return xdm.DedupSorted(out)
+		return dedupRanks(out)
 	case xdm.AxisAttribute:
+		// Attributes are numbered directly after their owner element.
 		for _, c := range ctxs {
-			for _, a := range c.Attrs {
-				if test.Matches(axis, a) {
+			end := cols.End(c)
+			for a := c + 1; a <= end && cols.Kind[a] == uint8(xdm.AttributeNode); a++ {
+				if test.matches(cols, a) {
 					out = append(out, a)
 				}
 			}
 		}
-		if !sortedNodes(out) {
-			xdm.SortDoc(out)
+		if !sortedRanks(out) {
+			slices.Sort(out)
 		}
-		return xdm.DedupSorted(out)
+		return dedupRanks(out)
 	case xdm.AxisSelf:
 		for _, c := range ctxs {
-			if test.Matches(axis, c) {
+			if test.matches(cols, c) {
 				out = append(out, c)
 			}
 		}
@@ -142,7 +155,7 @@ func scStep(p *Prepared, ctxs []*xdm.Node, s *pattern.Step, dst []*xdm.Node) []*
 
 // scPreds checks the predicate branches of a candidate as existential
 // semi-joins using the same staircase primitives from a singleton context.
-func scPreds(p *Prepared, arena *scArena, cand *xdm.Node, preds []*pattern.Step) bool {
+func scPreds(p *Prepared, arena *scArena, cand int32, preds [][]cstep) bool {
 	for _, pr := range preds {
 		if !scExists(p, arena, cand, pr) {
 			return false
@@ -151,18 +164,19 @@ func scPreds(p *Prepared, arena *scArena, cand *xdm.Node, preds []*pattern.Step)
 	return true
 }
 
-func scExists(p *Prepared, arena *scArena, ctx *xdm.Node, chain *pattern.Step) bool {
+func scExists(p *Prepared, arena *scArena, ctx int32, chain []cstep) bool {
 	mark := arena.next
 	ai, bi := arena.take(), arena.take()
 	cur := append(arena.bufs[ai][:0], ctx)
 	next := arena.bufs[bi][:0]
 	found := true
-	for s := chain; s != nil; s = s.Next {
+	for i := range chain {
+		s := &chain[i]
 		next = scStep(p, cur, s, next[:0])
-		if len(s.Preds) > 0 {
+		if len(s.preds) > 0 {
 			kept := next[:0]
 			for _, cand := range next {
-				if scPreds(p, arena, cand, s.Preds) {
+				if scPreds(p, arena, cand, s.preds) {
 					kept = append(kept, cand)
 				}
 			}
@@ -180,11 +194,71 @@ func scExists(p *Prepared, arena *scArena, ctx *xdm.Node, chain *pattern.Step) b
 	return found
 }
 
-func sortedNodes(ns []*xdm.Node) bool {
-	for i := 1; i < len(ns); i++ {
-		if xdm.CompareOrder(ns[i-1], ns[i]) >= 0 {
+// sortedRanks reports whether the ranks are strictly ascending.
+func sortedRanks(rs []int32) bool {
+	for i := 1; i < len(rs); i++ {
+		if rs[i-1] >= rs[i] {
 			return false
 		}
 	}
 	return true
+}
+
+// dedupRanks removes adjacent duplicates from a sorted rank slice in place.
+func dedupRanks(rs []int32) []int32 {
+	if len(rs) < 2 {
+		return rs
+	}
+	w := 1
+	for i := 1; i < len(rs); i++ {
+		if rs[i] != rs[w-1] {
+			rs[w] = rs[i]
+			w++
+		}
+	}
+	return rs[:w]
+}
+
+// searchGE returns the first index whose rank is >= x (len(a) when none is).
+func searchGE(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// gallopRanks advances a forward-only cursor to the first index at or after
+// pos whose rank is >= x: exponential probing brackets the boundary, binary
+// search pins it. Cheap when the skip is short (the common case on dense
+// streams), logarithmic in the skip when it is long.
+func gallopRanks(a []int32, pos int, x int32) int {
+	n := len(a)
+	if pos >= n || a[pos] >= x {
+		return pos
+	}
+	lo, hi, step := pos+1, n, 1
+	for pos+step < n {
+		if a[pos+step] < x {
+			lo = pos + step + 1
+			step <<= 1
+		} else {
+			hi = pos + step
+			break
+		}
+	}
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }

@@ -11,7 +11,9 @@ import (
 // as future work: linear child/descendant patterns are matched in a single
 // preorder scan of the context subtree with a stack of per-level automaton
 // states — no per-tag index streams, no navigation, one sequential pass
-// (the shape a SAX-based engine would use).
+// (the shape a SAX-based engine would use). The scan reads the kind/sym/size
+// columns directly: per node it is a byte load, an int32 compare per active
+// state, and an int32 jump for skipped subtrees — no node object is touched.
 //
 // Patterns with predicate branches, attribute steps or reverse axes fall
 // back to the nested loop.
@@ -38,7 +40,7 @@ func streamSupported(p *pattern.Pattern) bool {
 	return true
 }
 
-// streamEval runs the stack automaton over the preorder node array of the
+// streamEval runs the stack automaton over the preorder columns of the
 // context's subtree. The automaton state is the set of pattern steps
 // "active" at the current tree level, held in a bitmask (bit i = "the next
 // step to match is spine[i]"); a node matching the final step is an answer.
@@ -47,13 +49,12 @@ func streamSupported(p *pattern.Pattern) bool {
 // with no per-node allocation.
 func streamEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 	pat := p.pat
-	var spine []*pattern.Step
+	spine := p.spine
 	var descMask uint64
-	for s := pat.Root; s != nil; s = s.Next {
-		if s.Axis == xdm.AxisDescendant {
-			descMask |= 1 << uint(len(spine))
+	for i := range spine {
+		if spine[i].axis == xdm.AxisDescendant {
+			descMask |= 1 << uint(i)
 		}
-		spine = append(spine, s)
 	}
 	n := len(spine)
 	if n > 63 {
@@ -68,17 +69,18 @@ func streamEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 	finalBit := uint64(1) << uint(n-1)
 
 	type frame struct {
-		until  int    // preorder rank where this frame's subtree ends
+		until  int32  // preorder rank where this frame's subtree ends
 		states uint64 // active state bitmask for this level
 	}
-	stack := []frame{{until: ctx.End(), states: 1}}
-	var out []*xdm.Node
+	cols := p.cols
+	kindCol, symCol, sizeCol := cols.Kind, cols.Sym, cols.Size
+	stack := []frame{{until: int32(ctx.End()), states: 1}}
+	var out []int32
 
-	nodes := ctx.Doc.Nodes
-	lo, hi := ctx.Pre+1, ctx.End()
+	lo, hi := int32(ctx.Pre)+1, int32(ctx.End())
 	for pre := lo; pre <= hi; pre++ {
-		node := nodes[pre]
-		if node.Kind == xdm.AttributeNode {
+		kind := kindCol[pre]
+		if kind == uint8(xdm.AttributeNode) {
 			continue
 		}
 		// Pop frames whose subtree ended before this node.
@@ -88,13 +90,16 @@ func streamEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 		cur := stack[len(stack)-1].states
 		// Descendant states persist downward; matched states advance.
 		next := cur & descMask
-		if node.Kind == xdm.ElementNode {
+		if kind == uint8(xdm.ElementNode) {
+			sym := symCol[pre]
 			for rest := cur; rest != 0; rest &= rest - 1 {
 				i := bits.TrailingZeros64(rest)
-				s := spine[i]
-				if s.Test.Matches(s.Axis, node) {
+				t := spine[i].test
+				// Spine tests are name or star on an element axis; the node
+				// is an element, so star always fires.
+				if t.kind == xdm.TestStar || t.sym == sym {
 					if uint64(1)<<uint(i) == finalBit {
-						out = append(out, node)
+						out = append(out, pre)
 						// Dedup: a node accepted once is enough.
 						break
 					}
@@ -102,14 +107,14 @@ func streamEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 				}
 			}
 		}
-		if len(node.Children) > 0 {
+		if size := sizeCol[pre]; size > 0 {
 			if next == 0 {
 				// No state can fire anywhere below: skip the subtree.
-				pre = node.End()
+				pre += size
 				continue
 			}
-			stack = append(stack, frame{until: node.End(), states: next})
+			stack = append(stack, frame{until: pre + size, states: next})
 		}
 	}
-	return out
+	return p.materialize(out)
 }

@@ -96,6 +96,62 @@ func TestStreamingAgreementProperty(t *testing.T) {
 	}
 }
 
+// TestStreamingEdgeCases pins the scan's boundary behavior: an empty
+// document (childless root element), a root-only single-step pattern, the
+// unconstrained //* pattern, and a spine whose final step matches nothing
+// even though every earlier step matches.
+func TestStreamingEdgeCases(t *testing.T) {
+	t.Run("empty-document", func(t *testing.T) {
+		ix := mustIndex(t, `<a/>`)
+		// The root element has no subtree to scan.
+		if got := evalNodes(t, Streaming, ix, ix.Tree.Root, chain("dot", st(xdm.AxisDescendant, "b"))); len(got) != 0 {
+			t.Errorf("//b on <a/> = %d nodes, want 0", len(got))
+		}
+		// The root element itself is still reachable from the document node.
+		got := evalNodes(t, Streaming, ix, ix.Tree.Root, chain("dot", st(xdm.AxisChild, "a")))
+		if len(got) != 1 || got[0] != ix.Tree.Root.Children[0] {
+			t.Errorf("/a on <a/> = %v, want the root element", got)
+		}
+		// Evaluating from the (leaf) root element scans zero nodes.
+		if got := evalNodes(t, Streaming, ix, ix.Tree.Root.Children[0], chain("dot", st(xdm.AxisChild, "a"))); len(got) != 0 {
+			t.Errorf("/a from leaf element = %d nodes, want 0", len(got))
+		}
+	})
+	t.Run("root-only-pattern", func(t *testing.T) {
+		ix := mustIndex(t, twigDoc)
+		got := evalNodes(t, Streaming, ix, ix.Tree.Root, chain("dot", st(xdm.AxisChild, "a")))
+		if len(got) != 1 || got[0] != ix.Tree.Root.Children[0] {
+			t.Errorf("single-step /a = %v, want the root element", got)
+		}
+	})
+	t.Run("descendant-star", func(t *testing.T) {
+		ix := mustIndex(t, twigDoc)
+		pat := chain("dot", pattern.NewStep(xdm.AxisDescendant, xdm.StarTest()))
+		got := evalNodes(t, Streaming, ix, ix.Tree.Root, pat)
+		elements := 0
+		for _, n := range ix.Tree.Nodes {
+			if n.Kind == xdm.ElementNode {
+				elements++
+			}
+		}
+		if len(got) != elements {
+			t.Errorf("//* = %d nodes, want every element (%d)", len(got), elements)
+		}
+		if !xdm.IsDocOrdered(xdm.SequenceOf(got)) {
+			t.Error("//* result not in document order")
+		}
+	})
+	t.Run("zero-match-final-step", func(t *testing.T) {
+		ix := mustIndex(t, twigDoc)
+		// desc::b/child::c matches; the trailing child::zz must empty the
+		// result without tripping the subtree-skip bookkeeping.
+		pat := chain("dot", st(xdm.AxisDescendant, "b"), st(xdm.AxisChild, "c"), st(xdm.AxisChild, "zz"))
+		if got := evalNodes(t, Streaming, ix, ix.Tree.Root, pat); len(got) != 0 {
+			t.Errorf("//b/c/zz = %d nodes, want 0", len(got))
+		}
+	})
+}
+
 func TestStreamingFallsBack(t *testing.T) {
 	ix := mustIndex(t, twigDoc)
 	// Predicates are outside the streaming fragment: the fallback must

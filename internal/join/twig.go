@@ -1,24 +1,25 @@
 package join
 
 import (
-	"sort"
 	"sync"
 
-	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
 )
 
 // twigEval is the holistic twig-join evaluation of a single-output tree
-// pattern (after TwigStack, Bruno et al. SIGMOD'02): one pre-sorted stream
-// and one stack per query node, a getNext oracle that advances the streams
-// in lockstep, and stack-encoded root-to-node chains. Nodes reach a stack
-// only when their parent stack links them to a full root path, which keeps
-// the candidate sets near the final matches for descendant edges; child
-// edges are enforced afterwards in a merge-style refinement pass over the
-// pre-sorted candidate lists (TwigStack is provably optimal only for
-// descendant edges — the paper's observation that child steps do not
-// penalize it in the in-memory model still shows in the refinement cost).
+// pattern (after TwigStack, Bruno et al. SIGMOD'02): one pre-sorted integer
+// rank stream and one stack per query node, a getNext oracle that advances
+// the streams in lockstep, and stack-encoded root-to-node chains. Nodes
+// reach a stack only when their parent stack links them to a full root path,
+// which keeps the candidate sets near the final matches for descendant
+// edges; child edges are enforced afterwards in a merge-style refinement
+// pass over the pre-sorted candidate lists (TwigStack is provably optimal
+// only for descendant edges — the paper's observation that child steps do
+// not penalize it in the in-memory model still shows in the refinement
+// cost). Every structural check — stream advance, stack cleaning,
+// containment, parent equality — is integer arithmetic over the tree's
+// columns; nodes materialize once, from the surviving output ranks.
 //
 // The streams come pre-resolved from the Prepared pattern; stacks and
 // candidate lists live in a pooled arena, released after the result is
@@ -26,16 +27,16 @@ import (
 func twigEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 	arena := getTwigBufs()
 	q := buildQuery(p, ctx, arena)
-	runTwigStack(q)
-	refine(q)
+	cols := p.cols
+	runTwigStack(q, cols)
+	refine(q, cols)
 	// Select the extraction-point candidates that sit on a refined root
 	// path (top-down pass).
-	topDown(q)
+	topDown(q, cols)
 	ep := findOutput(q)
 	var out []*xdm.Node
-	if ep != nil && len(ep.valid) > 0 {
-		out = make([]*xdm.Node, len(ep.valid))
-		copy(out, ep.valid)
+	if ep != nil {
+		out = p.materialize(ep.valid)
 	}
 	arena.release(q)
 	return out
@@ -44,24 +45,23 @@ func twigEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 // qnode is one query node of the twig.
 type qnode struct {
 	axis     xdm.Axis // edge from the parent (child/descendant/attribute)
-	test     xdm.NodeTest
 	out      bool
 	parent   *qnode
 	children []*qnode
 
-	stream []*xdm.Node // region-restricted pre-sorted stream
-	pos    int         // stream cursor
-	stack  []*xdm.Node // pooled
+	stream []int32 // region-restricted pre-sorted rank stream
+	pos    int     // stream cursor
+	stack  []int32 // pooled
 
-	cand  []*xdm.Node // nodes ever pushed (root-path connected), pre-sorted; pooled
-	valid []*xdm.Node // candidates surviving refinement and the top-down pass; pooled
+	cand  []int32 // ranks ever pushed (root-path connected), pre-sorted; pooled
+	valid []int32 // candidates surviving refinement and the top-down pass; pooled
 }
 
 // twigBufs recycles the stacks and candidate lists of one twig evaluation.
 // get hands out a recycled buffer (or nil, which append grows); release
 // collects the possibly grown buffers back off the query tree.
 type twigBufs struct {
-	bufs [][]*xdm.Node
+	bufs [][]int32
 	next int
 }
 
@@ -69,7 +69,7 @@ var twigBufsPool = sync.Pool{New: func() any { return new(twigBufs) }}
 
 func getTwigBufs() *twigBufs { return twigBufsPool.Get().(*twigBufs) }
 
-func (a *twigBufs) get() []*xdm.Node {
+func (a *twigBufs) get() []int32 {
 	if a.next < len(a.bufs) {
 		b := a.bufs[a.next]
 		a.next++
@@ -95,57 +95,58 @@ func (a *twigBufs) release(root *qnode) {
 // buildQuery turns the pattern into a query tree with region-restricted
 // streams. The virtual root is the context node itself.
 func buildQuery(p *Prepared, ctx *xdm.Node, arena *twigBufs) *qnode {
-	root := &qnode{test: xdm.AnyNodeTest()}
-	root.cand = append(arena.get(), ctx)
-	root.valid = append(arena.get(), ctx)
-	root.stack = append(arena.get(), ctx)
-	var build func(parent *qnode, s *pattern.Step)
-	build = func(parent *qnode, s *pattern.Step) {
-		q := &qnode{axis: s.Axis, test: s.Test, out: s.Out != "", parent: parent}
-		q.stream = xmlstore.RegionSlice(p.stream(s), ctx)
-		q.stack = arena.get()
-		q.cand = arena.get()
-		q.valid = arena.get()
-		parent.children = append(parent.children, q)
-		for _, pr := range s.Preds {
-			build(q, pr)
-		}
-		if s.Next != nil {
-			build(q, s.Next)
+	ctxPre, ctxEnd := int32(ctx.Pre), int32(ctx.End())
+	root := &qnode{}
+	root.cand = append(arena.get(), ctxPre)
+	root.valid = append(arena.get(), ctxPre)
+	root.stack = append(arena.get(), ctxPre)
+	var build func(parent *qnode, chain []cstep)
+	build = func(parent *qnode, chain []cstep) {
+		for i := range chain {
+			s := &chain[i]
+			q := &qnode{axis: s.axis, out: s.out, parent: parent}
+			q.stream = xmlstore.RegionRanks(s.stream, ctxPre, ctxEnd)
+			q.stack = arena.get()
+			q.cand = arena.get()
+			q.valid = arena.get()
+			parent.children = append(parent.children, q)
+			for _, pr := range s.preds {
+				build(q, pr)
+			}
+			parent = q
 		}
 	}
-	build(root, p.pat.Root)
+	build(root, p.spine)
 	return root
 }
 
 func (q *qnode) exhausted() bool { return q.pos >= len(q.stream) }
-func (q *qnode) next() *xdm.Node { return q.stream[q.pos] }
 func (q *qnode) isLeaf() bool    { return len(q.children) == 0 }
 
 // nextBegin returns the pre rank of the head of q's stream (infinity when
 // exhausted).
-func (q *qnode) nextBegin() int {
+func (q *qnode) nextBegin() int32 {
 	if q.exhausted() {
-		return int(^uint(0) >> 1)
+		return int32(^uint32(0) >> 1)
 	}
-	return q.next().Pre
+	return q.stream[q.pos]
 }
 
-// runTwigStack advances all streams in document order, pushing a node onto
+// runTwigStack advances all streams in document order, pushing a rank onto
 // its stack only when its parent's stack holds an ancestor (so every pushed
-// node lies on a root-connected chain). Pushed nodes are the candidate sets
+// rank lies on a root-connected chain). Pushed ranks are the candidate sets
 // the refinement pass works from.
-func runTwigStack(root *qnode) {
+func runTwigStack(root *qnode, cols *xdm.Cols) {
 	for {
 		q := getNext(root)
 		if q == nil {
 			return
 		}
-		n := q.next()
+		n := q.stream[q.pos]
 		q.pos++
 		// Clean ancestor stacks of entries that end before n.
-		cleanStacks(root, n)
-		if q.parent.topContains(n) {
+		cleanStacks(root, n, cols)
+		if q.parent.topContains(n, cols) {
 			q.stack = append(q.stack, n)
 			q.cand = append(q.cand, n)
 			if q.isLeaf() {
@@ -177,17 +178,15 @@ func getNext(root *qnode) *qnode {
 	return best
 }
 
-// cleanStacks pops entries whose region ends before node n starts: they can
-// never be ancestors of n or of anything after n.
-func cleanStacks(root *qnode, n *xdm.Node) {
+// cleanStacks pops entries whose region ends before rank n starts: they can
+// never be ancestors of n or of anything after n. (An entry whose region
+// still covers n — including the virtual root — ends at or after it.)
+func cleanStacks(root *qnode, n int32, cols *xdm.Cols) {
 	var walk func(*qnode)
 	walk = func(q *qnode) {
 		for len(q.stack) > 0 {
 			top := q.stack[len(q.stack)-1]
-			if top.Doc == n.Doc && top.End() >= n.Pre {
-				break
-			}
-			if top == n.Doc.Root || top.Contains(n) {
+			if cols.End(top) >= n {
 				break
 			}
 			q.stack = q.stack[:len(q.stack)-1]
@@ -200,14 +199,13 @@ func cleanStacks(root *qnode, n *xdm.Node) {
 }
 
 // topContains reports whether some entry of q's stack is an ancestor of n.
-// Stack entries form a nested chain; the top can be a node at the same pre
-// rank as n (streams of different query nodes may share tags), so the scan
-// walks down until a containing entry is found. Respecting the edge axis is
-// left to refinement for child edges.
-func (q *qnode) topContains(n *xdm.Node) bool {
+// Stack entries form a nested chain; the top can be a rank equal to n
+// (streams of different query nodes may share tags), so the scan walks down
+// until a containing entry is found. Respecting the edge axis is left to
+// refinement for child edges.
+func (q *qnode) topContains(n int32, cols *xdm.Cols) bool {
 	for i := len(q.stack) - 1; i >= 0; i-- {
-		e := q.stack[i]
-		if e == n.Doc.Root || e.Contains(n) {
+		if cols.Contains(q.stack[i], n) {
 			return true
 		}
 	}
@@ -217,7 +215,7 @@ func (q *qnode) topContains(n *xdm.Node) bool {
 // refine keeps, bottom-up, only the candidates that have a matching
 // candidate for every query child under the right axis — a merge over the
 // pre-sorted candidate lists.
-func refine(root *qnode) {
+func refine(root *qnode, cols *xdm.Cols) {
 	var walk func(*qnode)
 	walk = func(q *qnode) {
 		for _, c := range q.children {
@@ -228,7 +226,7 @@ func refine(root *qnode) {
 			// checked.
 			kept := q.valid[:0]
 			for _, n := range q.valid {
-				if supported(n, q) {
+				if supported(n, q, cols) {
 					kept = append(kept, n)
 				}
 			}
@@ -237,7 +235,7 @@ func refine(root *qnode) {
 		}
 		q.valid = q.valid[:0]
 		for _, n := range q.cand {
-			if supported(n, q) {
+			if supported(n, q, cols) {
 				q.valid = append(q.valid, n)
 			}
 		}
@@ -245,11 +243,11 @@ func refine(root *qnode) {
 	walk(root)
 }
 
-// supported reports whether node n has, for every query child of q, a valid
+// supported reports whether rank n has, for every query child of q, a valid
 // candidate in the required axis relation.
-func supported(n *xdm.Node, q *qnode) bool {
+func supported(n int32, q *qnode, cols *xdm.Cols) bool {
 	for _, c := range q.children {
-		if !hasMatch(n, c) {
+		if !hasMatch(n, c, cols) {
 			return false
 		}
 	}
@@ -258,16 +256,16 @@ func supported(n *xdm.Node, q *qnode) bool {
 
 // hasMatch checks whether any valid candidate of query node c stands in
 // c.axis relation to n, by binary search over the pre-sorted candidates.
-func hasMatch(n *xdm.Node, c *qnode) bool {
+func hasMatch(n int32, c *qnode, cols *xdm.Cols) bool {
 	cands := c.valid
 	switch c.axis {
 	case xdm.AxisDescendant:
-		i := sort.Search(len(cands), func(i int) bool { return cands[i].Pre > n.Pre })
-		return i < len(cands) && cands[i].Pre <= n.End()
+		i := searchGE(cands, n+1)
+		return i < len(cands) && cands[i] <= cols.End(n)
 	case xdm.AxisChild, xdm.AxisAttribute:
-		i := sort.Search(len(cands), func(i int) bool { return cands[i].Pre > n.Pre })
-		for ; i < len(cands) && cands[i].Pre <= n.End(); i++ {
-			if cands[i].Parent == n {
+		end := cols.End(n)
+		for i := searchGE(cands, n+1); i < len(cands) && cands[i] <= end; i++ {
+			if cols.Parent[cands[i]] == n {
 				return true
 			}
 		}
@@ -279,13 +277,13 @@ func hasMatch(n *xdm.Node, c *qnode) bool {
 // topDown keeps only candidates whose parent query node has a valid
 // candidate in the required relation, propagating root-path validity down
 // to the extraction point.
-func topDown(root *qnode) {
+func topDown(root *qnode, cols *xdm.Cols) {
 	var walk func(*qnode)
 	walk = func(q *qnode) {
 		if q.parent != nil {
 			kept := q.valid[:0]
 			for _, n := range q.valid {
-				if underSome(n, q.parent.valid, q.axis) {
+				if underSome(n, q.parent.valid, q.axis, cols) {
 					kept = append(kept, n)
 				}
 			}
@@ -298,31 +296,31 @@ func topDown(root *qnode) {
 	walk(root)
 }
 
-// underSome reports whether n stands in the axis relation below one of the
-// pre-sorted parent candidates.
-func underSome(n *xdm.Node, parents []*xdm.Node, axis xdm.Axis) bool {
+// underSome reports whether rank n stands in the axis relation below one of
+// the pre-sorted parent candidates.
+func underSome(n int32, parents []int32, axis xdm.Axis, cols *xdm.Cols) bool {
 	switch axis {
 	case xdm.AxisChild, xdm.AxisAttribute:
-		p := n.Parent
-		if p == nil {
+		p := cols.Parent[n]
+		if p < 0 {
 			return false
 		}
-		i := sort.Search(len(parents), func(i int) bool { return parents[i].Pre >= p.Pre })
+		i := searchGE(parents, p)
 		return i < len(parents) && parents[i] == p
 	case xdm.AxisDescendant:
-		// Ancestors have smaller pre; scan candidates with Pre < n.Pre
-		// whose region covers n. Binary search for the insertion point,
-		// then walk left while regions can still cover n.
-		i := sort.Search(len(parents), func(i int) bool { return parents[i].Pre >= n.Pre })
+		// Ancestors have smaller pre; scan candidates with pre < n whose
+		// region covers n. Binary search for the insertion point, then walk
+		// left while regions can still cover n.
+		i := searchGE(parents, n)
 		for j := i - 1; j >= 0; j-- {
 			p := parents[j]
-			if p == n.Doc.Root || p.Contains(n) {
+			if cols.Contains(p, n) {
 				return true
 			}
 			// Candidates are in pre order; an earlier candidate can still
 			// contain n even if this one does not (siblings vs ancestors),
 			// so keep scanning until pre ranks leave any plausible region.
-			if p.End() < n.Pre && p.Level <= 1 {
+			if cols.End(p) < n && cols.Level[p] <= 1 {
 				break
 			}
 		}

@@ -61,7 +61,49 @@ type Tree struct {
 	Root  *Node    // the document node
 	Nodes []*Node  // all nodes, indexed by Pre
 	Syms  *Symbols // interned element/attribute names (immutable after Finalize)
+	Cols  *Cols    // structure-of-arrays region encoding, indexed by Pre
 }
+
+// Cols is the structure-of-arrays mirror of the tree's region encoding: one
+// flat column per encoding field, all indexed by preorder rank. The columns
+// are the native currency of the set-at-a-time join kernels — a containment
+// test is two int32 compares against Size, with no Node pointer ever
+// dereferenced — and they pack ~21 bytes per node against the cache instead
+// of scattering the encoding across heap objects. Built by Finalize;
+// immutable afterwards.
+type Cols struct {
+	Post   []int32
+	Size   []int32
+	Level  []int32
+	Parent []int32 // preorder rank of the parent; -1 for the document node
+	Kind   []uint8
+	Sym    []int32 // interned name; int32(NoSym) for document and text nodes
+}
+
+// End returns the last preorder rank inside node n's region.
+func (c *Cols) End(n int32) int32 { return n + c.Size[n] }
+
+// Contains reports whether d is a proper descendant of a (both pre ranks of
+// one tree; attributes of a contained element count as contained).
+func (c *Cols) Contains(a, d int32) bool { return a < d && d <= a+c.Size[a] }
+
+// FirstChild returns the preorder rank of n's first non-attribute child, or
+// end+1 ranks past the region when n has none. Iterate children columnar
+// style with NextSibling:
+//
+//	for ch := c.FirstChild(n); ch <= c.End(n); ch = c.NextSibling(ch) { ... }
+func (c *Cols) FirstChild(n int32) int32 {
+	ch := n + 1
+	end := c.End(n)
+	for ch <= end && Kind(c.Kind[ch]) == AttributeNode {
+		ch++
+	}
+	return ch
+}
+
+// NextSibling returns the preorder rank directly after n's region — n's next
+// sibling whenever one exists under the same parent.
+func (c *Cols) NextSibling(n int32) int32 { return n + c.Size[n] + 1 }
 
 // NewElement returns a detached element node.
 func NewElement(name string) *Node { return &Node{Kind: ElementNode, Name: name} }
@@ -131,7 +173,47 @@ func Finalize(root *Node) *Tree {
 		n.Size = pre - n.Pre - 1
 	}
 	walk(doc, 0)
+	t.buildCols()
 	return t
+}
+
+// buildCols fills the structure-of-arrays mirror from the finalized nodes.
+func (t *Tree) buildCols() {
+	n := len(t.Nodes)
+	c := &Cols{
+		Post:   make([]int32, n),
+		Size:   make([]int32, n),
+		Level:  make([]int32, n),
+		Parent: make([]int32, n),
+		Kind:   make([]uint8, n),
+		Sym:    make([]int32, n),
+	}
+	for i, nd := range t.Nodes {
+		c.Post[i] = int32(nd.Post)
+		c.Size[i] = int32(nd.Size)
+		c.Level[i] = int32(nd.Level)
+		if nd.Parent != nil {
+			c.Parent[i] = int32(nd.Parent.Pre)
+		} else {
+			c.Parent[i] = -1
+		}
+		c.Kind[i] = uint8(nd.Kind)
+		c.Sym[i] = int32(nd.Sym)
+	}
+	t.Cols = c
+}
+
+// Materialize resolves a slice of preorder ranks to the nodes themselves —
+// the one place integer results cross back into the pointer data model.
+func (t *Tree) Materialize(ranks []int32) []*Node {
+	if len(ranks) == 0 {
+		return nil
+	}
+	out := make([]*Node, len(ranks))
+	for i, r := range ranks {
+		out[i] = t.Nodes[r]
+	}
+	return out
 }
 
 // Contains reports whether d is a proper descendant of n (attributes of a

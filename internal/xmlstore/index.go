@@ -7,47 +7,51 @@ import (
 )
 
 // Index holds the access structures built over one document: per-tag element
-// streams and per-name attribute streams, each sorted by preorder rank.
-// These streams are the inputs of the staircase and twig join algorithms —
-// the moral equivalent of an element-tag B-tree in a disk-based store.
+// streams and per-name attribute streams, each a []int32 slice of preorder
+// ranks sorted ascending. These streams are the inputs of the staircase and
+// twig join algorithms — the moral equivalent of an element-tag B-tree in a
+// disk-based store, flattened to integers so a region scan touches packed
+// ranks instead of chasing GC-scanned node pointers (the columns of
+// xdm.Tree.Cols carry the per-rank encoding).
 //
 // Streams are keyed by the tree's interned symbol IDs (xdm.Sym), so a
 // resolved name test reaches its stream by a slice index instead of a string
 // hash; names absent from the document resolve to the empty stream via the
-// symbol-table lookup. The merged streams that older revisions rebuilt per
-// call (node() over elements+text, the all-attributes stream) are
-// precomputed once here. An Index is immutable after BuildIndex and safe for
-// concurrent readers.
+// symbol-table lookup. The merged streams (node() over elements+text, the
+// all-attributes stream) are precomputed once here. An Index is immutable
+// after BuildIndex and safe for concurrent readers.
 type Index struct {
 	Tree *xdm.Tree
 
-	elemBySym [][]*xdm.Node // element streams, indexed by xdm.Sym
-	attrBySym [][]*xdm.Node // attribute streams, indexed by xdm.Sym
-	allElems  []*xdm.Node
-	allText   []*xdm.Node
-	allNodes  []*xdm.Node // elements and texts merged by pre (node() stream)
-	allAttrs  []*xdm.Node // every attribute, by pre (attribute::* stream)
+	elemBySym [][]int32 // element rank streams, indexed by xdm.Sym
+	attrBySym [][]int32 // attribute rank streams, indexed by xdm.Sym
+	allElems  []int32
+	allText   []int32
+	allNodes  []int32 // elements and texts merged by pre (node() stream)
+	allAttrs  []int32 // every attribute, by pre (attribute::* stream)
 }
 
-// BuildIndex scans the tree twice — once to size every stream exactly, once
-// to fill them — and constructs its index.
+// BuildIndex scans the tree's kind/sym columns twice — once to size every
+// stream exactly, once to fill them — and constructs its index without
+// touching a single node pointer.
 func BuildIndex(t *xdm.Tree) *Index {
 	nsyms := t.Syms.Len()
+	cols := t.Cols
 	ix := &Index{
 		Tree:      t,
-		elemBySym: make([][]*xdm.Node, nsyms),
-		attrBySym: make([][]*xdm.Node, nsyms),
+		elemBySym: make([][]int32, nsyms),
+		attrBySym: make([][]int32, nsyms),
 	}
 	elemCount := make([]int, nsyms)
 	attrCount := make([]int, nsyms)
 	var nElems, nTexts, nAttrs int
-	for _, n := range t.Nodes {
-		switch n.Kind {
+	for pre := range cols.Kind {
+		switch xdm.Kind(cols.Kind[pre]) {
 		case xdm.ElementNode:
-			elemCount[n.Sym]++
+			elemCount[cols.Sym[pre]]++
 			nElems++
 		case xdm.AttributeNode:
-			attrCount[n.Sym]++
+			attrCount[cols.Sym[pre]]++
 			nAttrs++
 		case xdm.TextNode:
 			nTexts++
@@ -55,46 +59,49 @@ func BuildIndex(t *xdm.Tree) *Index {
 	}
 	for s := 0; s < nsyms; s++ {
 		if elemCount[s] > 0 {
-			ix.elemBySym[s] = make([]*xdm.Node, 0, elemCount[s])
+			ix.elemBySym[s] = make([]int32, 0, elemCount[s])
 		}
 		if attrCount[s] > 0 {
-			ix.attrBySym[s] = make([]*xdm.Node, 0, attrCount[s])
+			ix.attrBySym[s] = make([]int32, 0, attrCount[s])
 		}
 	}
-	ix.allElems = make([]*xdm.Node, 0, nElems)
-	ix.allText = make([]*xdm.Node, 0, nTexts)
-	ix.allNodes = make([]*xdm.Node, 0, nElems+nTexts)
-	ix.allAttrs = make([]*xdm.Node, 0, nAttrs)
-	// t.Nodes is in preorder, so appending in scan order leaves every
+	ix.allElems = make([]int32, 0, nElems)
+	ix.allText = make([]int32, 0, nTexts)
+	ix.allNodes = make([]int32, 0, nElems+nTexts)
+	ix.allAttrs = make([]int32, 0, nAttrs)
+	// The columns are in preorder, so appending in scan order leaves every
 	// stream — including the merged ones — sorted by pre with no sort pass.
-	for _, n := range t.Nodes {
-		switch n.Kind {
+	for pre := range cols.Kind {
+		r := int32(pre)
+		switch xdm.Kind(cols.Kind[pre]) {
 		case xdm.ElementNode:
-			ix.elemBySym[n.Sym] = append(ix.elemBySym[n.Sym], n)
-			ix.allElems = append(ix.allElems, n)
-			ix.allNodes = append(ix.allNodes, n)
+			s := cols.Sym[pre]
+			ix.elemBySym[s] = append(ix.elemBySym[s], r)
+			ix.allElems = append(ix.allElems, r)
+			ix.allNodes = append(ix.allNodes, r)
 		case xdm.AttributeNode:
-			ix.attrBySym[n.Sym] = append(ix.attrBySym[n.Sym], n)
-			ix.allAttrs = append(ix.allAttrs, n)
+			s := cols.Sym[pre]
+			ix.attrBySym[s] = append(ix.attrBySym[s], r)
+			ix.allAttrs = append(ix.allAttrs, r)
 		case xdm.TextNode:
-			ix.allText = append(ix.allText, n)
-			ix.allNodes = append(ix.allNodes, n)
+			ix.allText = append(ix.allText, r)
+			ix.allNodes = append(ix.allNodes, r)
 		}
 	}
 	return ix
 }
 
-// ElementStreamSym returns the element stream for an interned name. Pass
+// ElementRanksSym returns the element rank stream for an interned name. Pass
 // xdm.NoSym (or any out-of-range symbol) for the empty stream.
-func (ix *Index) ElementStreamSym(s xdm.Sym) []*xdm.Node {
+func (ix *Index) ElementRanksSym(s xdm.Sym) []int32 {
 	if s < 0 || int(s) >= len(ix.elemBySym) {
 		return nil
 	}
 	return ix.elemBySym[s]
 }
 
-// AttributeStreamSym returns the attribute stream for an interned name.
-func (ix *Index) AttributeStreamSym(s xdm.Sym) []*xdm.Node {
+// AttributeRanksSym returns the attribute rank stream for an interned name.
+func (ix *Index) AttributeRanksSym(s xdm.Sym) []int32 {
 	if s < 0 || int(s) >= len(ix.attrBySym) {
 		return nil
 	}
@@ -111,14 +118,14 @@ func (ix *Index) ResolveName(name string) xdm.Sym {
 	return s
 }
 
-// ElementStream returns the preorder-sorted stream of nodes matching the
-// test on an element axis (child/descendant/...): a single tag stream for a
-// name test, all elements for *, all elements and texts for node(), text
-// nodes for text(). The returned slice is shared and must not be mutated.
-func (ix *Index) ElementStream(test xdm.NodeTest) []*xdm.Node {
+// ElementRanks returns the preorder-sorted rank stream matching the test on
+// an element axis (child/descendant/...): a single tag stream for a name
+// test, all elements for *, all elements and texts for node(), text nodes
+// for text(). The returned slice is shared and must not be mutated.
+func (ix *Index) ElementRanks(test xdm.NodeTest) []int32 {
 	switch test.Kind {
 	case xdm.TestName:
-		return ix.ElementStreamSym(ix.ResolveName(test.Name))
+		return ix.ElementRanksSym(ix.ResolveName(test.Name))
 	case xdm.TestStar:
 		return ix.allElems
 	case xdm.TestText:
@@ -129,34 +136,66 @@ func (ix *Index) ElementStream(test xdm.NodeTest) []*xdm.Node {
 	return nil
 }
 
-// AttributeStream returns the preorder-sorted stream of attribute nodes
+// AttributeRanks returns the preorder-sorted rank stream of attribute nodes
 // matching the test on the attribute axis.
-func (ix *Index) AttributeStream(test xdm.NodeTest) []*xdm.Node {
+func (ix *Index) AttributeRanks(test xdm.NodeTest) []int32 {
 	switch test.Kind {
 	case xdm.TestName:
-		return ix.AttributeStreamSym(ix.ResolveName(test.Name))
+		return ix.AttributeRanksSym(ix.ResolveName(test.Name))
 	case xdm.TestStar, xdm.TestNode:
 		return ix.allAttrs
 	}
 	return nil
 }
 
-// StreamFor returns the stream matching an axis step (element streams for
-// element axes, attribute streams for the attribute axis).
-func (ix *Index) StreamFor(axis xdm.Axis, test xdm.NodeTest) []*xdm.Node {
+// RanksFor returns the rank stream matching an axis step (element streams
+// for element axes, attribute streams for the attribute axis).
+func (ix *Index) RanksFor(axis xdm.Axis, test xdm.NodeTest) []int32 {
 	if axis == xdm.AxisAttribute {
-		return ix.AttributeStream(test)
+		return ix.AttributeRanks(test)
 	}
-	return ix.ElementStream(test)
+	return ix.ElementRanks(test)
 }
 
-// RegionSlice narrows a preorder-sorted stream to the nodes strictly inside
-// the region of ctx (its proper descendants), using binary search. The
-// result aliases the stream.
-func RegionSlice(stream []*xdm.Node, ctx *xdm.Node) []*xdm.Node {
-	lo := sort.Search(len(stream), func(i int) bool { return stream[i].Pre > ctx.Pre })
-	hi := sort.Search(len(stream), func(i int) bool { return stream[i].Pre > ctx.End() })
+// ElementStream materializes ElementRanks as nodes (convenience for callers
+// outside the join kernels; allocates).
+func (ix *Index) ElementStream(test xdm.NodeTest) []*xdm.Node {
+	return ix.Tree.Materialize(ix.ElementRanks(test))
+}
+
+// AttributeStream materializes AttributeRanks as nodes.
+func (ix *Index) AttributeStream(test xdm.NodeTest) []*xdm.Node {
+	return ix.Tree.Materialize(ix.AttributeRanks(test))
+}
+
+// RegionRanks narrows a preorder-sorted rank stream to the ranks strictly
+// inside the region (pre, end] — the proper descendants of the node with
+// that region — using binary search. The result aliases the stream.
+func RegionRanks(stream []int32, pre, end int32) []int32 {
+	lo := searchRanks(stream, pre+1)
+	hi := searchRanks(stream, end+1)
 	return stream[lo:hi]
+}
+
+// RegionCount counts the stream entries strictly inside the region (pre,
+// end] without slicing.
+func RegionCount(stream []int32, pre, end int32) int {
+	return searchRanks(stream, end+1) - searchRanks(stream, pre+1)
+}
+
+// searchRanks returns the first index whose rank is >= x (len(a) when none
+// is) — an inlined branch-lean binary search over the sorted rank stream.
+func searchRanks(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Tags returns the distinct element names in the index.

@@ -105,7 +105,7 @@ func TestIndexStreams(t *testing.T) {
 	}
 }
 
-func TestRegionSlice(t *testing.T) {
+func TestRegionRanks(t *testing.T) {
 	tr, err := ParseString(sampleXML)
 	if err != nil {
 		t.Fatal(err)
@@ -113,17 +113,24 @@ func TestRegionSlice(t *testing.T) {
 	ix := BuildIndex(tr)
 	a := tr.DocElem()
 	bs := xdm.Step(a, xdm.AxisChild, xdm.NameTest("b"))
+	cs := ix.ElementRanks(xdm.NameTest("c"))
+	region := func(n *xdm.Node) []int32 {
+		return RegionRanks(cs, int32(n.Pre), int32(n.End()))
+	}
 	// c nodes inside the first b.
-	csInB := RegionSlice(ix.ElementStream(xdm.NameTest("c")), bs[0])
+	csInB := tr.Materialize(region(bs[0]))
 	if len(csInB) != 1 || csInB[0].StringValue() != "hello" {
-		t.Errorf("RegionSlice(c, b1) = %v", csInB)
+		t.Errorf("RegionRanks(c, b1) = %v", csInB)
 	}
 	// No c inside the second b.
-	if got := RegionSlice(ix.ElementStream(xdm.NameTest("c")), bs[1]); len(got) != 0 {
-		t.Errorf("RegionSlice(c, b2) = %v", got)
+	if got := region(bs[1]); len(got) != 0 {
+		t.Errorf("RegionRanks(c, b2) = %v", got)
 	}
 	// All c inside a.
-	if got := RegionSlice(ix.ElementStream(xdm.NameTest("c")), a); len(got) != 2 {
-		t.Errorf("RegionSlice(c, a) = %v", got)
+	if got := region(a); len(got) != 2 {
+		t.Errorf("RegionRanks(c, a) = %v", got)
+	}
+	if got := RegionCount(cs, int32(a.Pre), int32(a.End())); got != 2 {
+		t.Errorf("RegionCount(c, a) = %d", got)
 	}
 }

@@ -27,11 +27,16 @@ type ServeResult struct {
 
 // ServeReport is the machine-readable output of RunServe.
 type ServeReport struct {
-	People        int           `json:"xmark_people"`
-	DocumentBytes int           `json:"document_bytes"`
-	Queries       []string      `json:"queries"`
-	MaxProcs      int           `json:"max_procs"`
-	Results       []ServeResult `json:"results"`
+	People        int      `json:"xmark_people"`
+	DocumentBytes int      `json:"document_bytes"`
+	Queries       []string `json:"queries"`
+	MaxProcs      int      `json:"max_procs"`
+	CPUs          []int    `json:"cpus"`
+	// Note documents the measurement environment caveats (in particular:
+	// on a single-CPU host the multi-processor rows oversubscribe one core,
+	// so speedup_vs_serial reflects scheduling overhead, not parallelism).
+	Note    string        `json:"note"`
+	Results []ServeResult `json:"results"`
 }
 
 // serveQueries is the mixed workload: the Fig. 6 XMark paths in child form,
@@ -77,10 +82,11 @@ func benchServe(doc *Document, queries []*Query, alg Algorithm, procs int) (test
 }
 
 // RunServe measures the compile-once/index-once serving path: concurrent
-// mixed XMark queries from cached plans against one shared document, at one
-// processor and at every available processor. If jsonPath is non-empty the
-// report is also written there as JSON.
-func RunServe(w io.Writer, opts ExperimentOptions, jsonPath string) error {
+// mixed XMark queries from cached plans against one shared document. The
+// cpus list gives the GOMAXPROCS settings to measure (nil measures one
+// processor and, when more are available, every processor). If jsonPath is
+// non-empty the report is also written there as JSON.
+func RunServe(w io.Writer, opts ExperimentOptions, jsonPath string, cpus []int) error {
 	doc := NewXMarkDocument(opts.Seed, opts.Fig6People)
 	queries, srcs, err := serveQueries()
 	if err != nil {
@@ -91,11 +97,28 @@ func RunServe(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 	if maxProcs > 1 {
 		procsList = append(procsList, maxProcs)
 	}
+	if len(cpus) > 0 {
+		procsList = procsList[:0]
+		for _, c := range cpus {
+			if c >= 1 {
+				procsList = append(procsList, c)
+			}
+		}
+		if len(procsList) == 0 {
+			return fmt.Errorf("serve: no usable cpu count in %v", cpus)
+		}
+	}
+	note := fmt.Sprintf("measured with %d CPU(s) available", runtime.NumCPU())
+	if runtime.NumCPU() == 1 {
+		note += "; rows with procs > 1 oversubscribe a single core, so qps and speedup_vs_serial measure scheduling overhead, not parallel scaling"
+	}
 	report := ServeReport{
 		People:        opts.Fig6People,
 		DocumentBytes: doc.SizeBytes(),
 		Queries:       srcs,
 		MaxProcs:      maxProcs,
+		CPUs:          procsList,
+		Note:          note,
 	}
 	fmt.Fprintf(w, "Serving: %d mixed XMark queries, cached plans, shared %.1fMB document\n\n",
 		len(queries), float64(doc.SizeBytes())/1e6)
