@@ -1,10 +1,11 @@
 GO ?= go
 
 # Packages with concurrency-sensitive paths (shared catalog, prepared-join
-# caches, parallel TupleTreePattern workers) get a dedicated -race run.
-RACE_PKGS = ./internal/exec ./internal/join
+# caches, shared compiled physical plans, parallel TupleTreePattern workers)
+# get a dedicated -race run.
+RACE_PKGS = ./internal/exec ./internal/join ./internal/physical
 
-.PHONY: all build vet test race check bench serve bench-compare clean
+.PHONY: all build vet test race check bench serve bench-compare bench-smoke clean
 
 all: check
 
@@ -31,6 +32,14 @@ bench:
 # Concurrent serving benchmark; -cpu exercises the QPS scaling.
 serve:
 	$(GO) test -bench Serve -benchmem -cpu 1,4 .
+
+# Quick benchmark smoke: re-measure Table 1 at reduced scale and diff it
+# against the committed quick-scale baseline. Report-only (the leading `-`
+# ignores the diff's exit status): it surfaces drift without gating on the
+# noise of shared CI machines.
+bench-smoke:
+	$(GO) run ./cmd/treebench -exp table1 -quick -json /tmp/bench_table1_quick.json
+	-$(GO) run ./cmd/benchdiff BENCH_table1_quick.json /tmp/bench_table1_quick.json
 
 # Compare two treebench JSON reports (table1 or serve):
 #   make bench-compare OLD=BENCH_table1.json NEW=/tmp/new.json

@@ -7,6 +7,7 @@
 //	treebench -exp all            # every experiment at paper scale
 //	treebench -exp table1 -quick  # one experiment at reduced scale
 //	treebench -exp table1 -json BENCH_table1.json  # per-cell ns/allocs/bytes
+//	treebench -exp table1 -algs nl,sc,auto         # choose the measured algorithms
 //	treebench -exp serve -json BENCH_serve.json -cpus 1,2,4  # serving QPS
 package main
 
@@ -29,6 +30,7 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
 		jsonPath = flag.String("json", "", "write the report as JSON to this file (table1 and serve)")
 		cpusFlag = flag.String("cpus", "", "comma-separated GOMAXPROCS settings to measure (serve only, e.g. 1,2,4)")
+		algsFlag = flag.String("algs", "", "comma-separated algorithms for table1/fig6 (nl, sc, twig, auto, stream; default nl,twig,sc)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,16 @@ func main() {
 	}
 	opts.Seed = *seed
 	opts.Repeats = *repeats
+	if *algsFlag != "" {
+		for _, part := range strings.Split(*algsFlag, ",") {
+			alg, err := xqtp.ParseAlgorithm(strings.TrimSpace(part))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "treebench: %v\n", err)
+				os.Exit(2)
+			}
+			opts.Algorithms = append(opts.Algorithms, alg)
+		}
+	}
 
 	w := bufio.NewWriter(os.Stdout)
 	defer w.Flush()

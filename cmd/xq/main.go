@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	xq -query '$d//person[emailaddress]/name' -file doc.xml [-alg nl|sc|twig] [-serialize]
+//	xq -query '$d//person[emailaddress]/name' -file doc.xml [-alg nl|sc|twig|auto] [-serialize]
+//	xq -query '$d//person/name' -file doc.xml -alg auto -explain   # physical plan + cost-model choice
 //	echo '<a><b/></a>' | xq -query '$d/a/b'
 package main
 
@@ -13,17 +14,17 @@ import (
 	"os"
 
 	"xqtp"
-	"xqtp/internal/join"
 )
 
 func main() {
 	var (
 		query     = flag.String("query", "", "XQuery expression (required)")
 		file      = flag.String("file", "", "XML input file (default: stdin)")
-		algName   = flag.String("alg", "sc", "tree-pattern algorithm: nl, sc, twig, auto")
+		algName   = flag.String("alg", "sc", "tree-pattern algorithm: nl, sc, twig, auto, stream")
 		snapshot  = flag.Bool("snapshot", false, "input is a binary snapshot (see xmlgen -format snapshot)")
 		serialize = flag.Bool("serialize", false, "serialize node results as XML")
 		noTP      = flag.Bool("no-tree-patterns", false, "disable tree-pattern detection (standard engine)")
+		explain   = flag.Bool("explain", false, "print the physical plan (with the per-pattern cost-model choice under -alg auto) before the results")
 	)
 	flag.Parse()
 	if *query == "" {
@@ -31,7 +32,7 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	alg, err := join.ParseAlgorithm(*algName)
+	alg, err := xqtp.ParseAlgorithm(*algName)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,6 +64,13 @@ func main() {
 	q, err := xqtp.PrepareCachedWithOptions(*query, opts)
 	if err != nil {
 		fatal(err)
+	}
+	if *explain {
+		phys, err := q.ExplainPhysical(alg, doc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(phys)
 	}
 	items, err := q.Run(doc, alg)
 	if err != nil {

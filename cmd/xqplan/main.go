@@ -1,11 +1,14 @@
 // Command xqplan shows every phase of the tree-pattern compilation pipeline
 // (Fig. 2 of the paper) for a query: the parsed surface syntax, the
 // normalized XQuery Core, the TPNF' rewritten core, the compiled algebraic
-// plan, and the optimized plan with detected TupleTreePattern operators.
+// plan, the optimized plan with detected TupleTreePattern operators, and
+// the physical plan with its slot layout and per-pattern algorithm
+// annotation.
 //
 // Usage:
 //
 //	xqplan '$d//person[emailaddress]/name'
+//	xqplan -alg auto '$d//person/name'     # physical phase for another algorithm
 package main
 
 import (
@@ -18,10 +21,16 @@ import (
 
 func main() {
 	trace := flag.Bool("trace", false, "show every intermediate rewriting step")
+	algName := flag.String("alg", "sc", "algorithm of the physical phase: nl, sc, twig, auto, stream")
 	flag.Parse()
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: xqplan [-trace] <query>")
+		fmt.Fprintln(os.Stderr, "usage: xqplan [-trace] [-alg nl|sc|twig|auto] <query>")
 		os.Exit(2)
+	}
+	alg, err := xqtp.ParseAlgorithm(*algName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xqplan:", err)
+		os.Exit(1)
 	}
 	if *trace {
 		_, tr, err := xqtp.PrepareTraced(flag.Arg(0))
@@ -38,5 +47,15 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(q.Explain())
+	if alg != xqtp.Staircase {
+		// Explain's physical phase shows the Staircase plan; render the
+		// requested algorithm's phase in addition.
+		phys, err := q.ExplainPhysical(alg, nil)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xqplan:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nPhysical plan (%s):\n%s", alg, phys)
+	}
 	fmt.Printf("\nTupleTreePattern operators: %d\n", q.TreePatterns())
 }

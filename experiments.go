@@ -28,6 +28,18 @@ type ExperimentOptions struct {
 	// Repeats is the number of timed runs per measurement (the median is
 	// reported).
 	Repeats int
+	// Algorithms overrides the algorithm list of the Table 1 and Fig. 6
+	// experiments (nil: the paper's NL, TJ, SC columns). Auto is a valid
+	// entry, measuring the cost-based per-pattern choice.
+	Algorithms []Algorithm
+}
+
+// experimentAlgorithms resolves the per-cell algorithm list.
+func (o ExperimentOptions) experimentAlgorithms() []Algorithm {
+	if len(o.Algorithms) > 0 {
+		return o.Algorithms
+	}
+	return []Algorithm{NestedLoop, Twig, Staircase}
 }
 
 // DefaultExperimentOptions reproduces the paper's experiment parameters.
@@ -124,7 +136,7 @@ func RunTable1(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 		fmt.Fprintf(w, "%12s", fmt.Sprintf("%.1fMB", float64(sz)/1e6))
 	}
 	fmt.Fprintln(w)
-	algs := []Algorithm{NestedLoop, Twig, Staircase}
+	algs := opts.experimentAlgorithms()
 	report := Table1Report{Seed: opts.Seed, Repeats: opts.Repeats}
 	for _, pq := range QEQueries {
 		q, err := PrepareCached(pq.Query)
@@ -249,7 +261,12 @@ func RunFigure6(w io.Writer, opts ExperimentOptions) error {
 	doc := NewXMarkDocument(opts.Seed, opts.Fig6People)
 	fmt.Fprintf(w, "Figure 6: XMark queries, child vs descendant steps (seconds, %.1fMB document)\n\n",
 		float64(doc.SizeBytes())/1e6)
-	fmt.Fprintf(w, "%-14s %-6s %-12s %-12s %-12s\n", "query", "form", "NL", "TJ", "SC")
+	algs := opts.experimentAlgorithms()
+	fmt.Fprintf(w, "%-14s %-6s", "query", "form")
+	for _, alg := range algs {
+		fmt.Fprintf(w, " %-12s", shortAlg(alg))
+	}
+	fmt.Fprintln(w)
 	for _, pair := range Figure6Queries {
 		for _, form := range []struct {
 			label string
@@ -260,7 +277,7 @@ func RunFigure6(w io.Writer, opts ExperimentOptions) error {
 				return fmt.Errorf("%s: %w", pair.Name, err)
 			}
 			fmt.Fprintf(w, "%-14s %-6s", pair.Name, form.label)
-			for _, alg := range []Algorithm{NestedLoop, Twig, Staircase} {
+			for _, alg := range algs {
 				d, err := timeQuery(q, doc, alg, opts.Repeats)
 				if err != nil {
 					return err

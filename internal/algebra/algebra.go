@@ -220,18 +220,28 @@ func Children(e Expr) []Expr {
 	return nil
 }
 
+// Walk traverses the plan in depth-first pre-order, calling f on every node.
+// Returning false from f skips the node's children. It is the structural
+// visitor shared by the plan statistics below and by the physical lowering
+// pass (internal/physical), which walks the plan once to size its slot frame
+// before compiling operators.
+func Walk(e Expr, f func(Expr) bool) {
+	if e == nil || !f(e) {
+		return
+	}
+	for _, c := range Children(e) {
+		Walk(c, f)
+	}
+}
+
 // CountOperators returns the number of nodes in the plan, by operator kind
 // name (used by the validation experiments to assert plan shapes).
 func CountOperators(e Expr) map[string]int {
 	counts := map[string]int{}
-	var walk func(Expr)
-	walk = func(e Expr) {
+	Walk(e, func(e Expr) bool {
 		counts[OpName(e)]++
-		for _, c := range Children(e) {
-			walk(c)
-		}
-	}
-	walk(e)
+		return true
+	})
 	return counts
 }
 

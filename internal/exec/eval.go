@@ -1,15 +1,16 @@
+// Package exec is the runtime for algebraic plans: it lowers each plan once
+// through internal/physical (slot-addressed operators, builtin function
+// pointers, plan-level pattern/algorithm annotation) and executes the
+// compiled form against an environment of free variables, a document
+// catalog, and a prepared-pattern cache.
 package exec
 
 import (
-	"fmt"
-	"slices"
 	"sync"
-	"sync/atomic"
 
 	"xqtp/internal/algebra"
-	"xqtp/internal/funcs"
 	"xqtp/internal/join"
-	"xqtp/internal/pattern"
+	"xqtp/internal/physical"
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
 )
@@ -19,8 +20,10 @@ import (
 //
 // An engine is safe for concurrent Run calls as long as its configuration
 // (Vars, Algorithm, Parallel, Catalog, Preps) is not mutated concurrently:
-// evaluation state is per-call, and the catalog and prepared-pattern cache
-// are concurrency-safe.
+// evaluation state is per-call, and the catalog, prepared-pattern cache and
+// compiled-plan cache are concurrency-safe. The physical lowering of each
+// distinct plan happens once per engine (the Algorithm in effect at that
+// first Run is compiled in).
 type Engine struct {
 	// Vars binds the plan's free variables ($d, $input, the context item).
 	Vars map[string]xdm.Sequence
@@ -38,6 +41,9 @@ type Engine struct {
 	// Preps caches prepared (pattern, document, algorithm) joins. Sharing
 	// it across runs of one compiled query skips per-run stream resolution.
 	Preps *PrepCache
+
+	// plans memoizes the physical lowering per algebra.Expr identity.
+	plans sync.Map // algebra.Expr -> *physical.Plan
 }
 
 // NewEngine builds an execution engine with a private catalog and
@@ -58,479 +64,37 @@ func (en *Engine) UseIndex(ix *xmlstore.Index) {
 	en.Catalog.Register(ix)
 }
 
-// prepFor resolves the (pattern, document) pair to a prepared join,
-// consulting the prepared-pattern cache and the document catalog. A
-// zero-value Engine (no catalog, no cache) still works: it builds and
-// prepares on the spot.
-func (en *Engine) prepFor(pat *pattern.Pattern, t *xdm.Tree) (*join.Prepared, error) {
-	var ix *xmlstore.Index
-	if en.Catalog != nil {
-		ix = en.Catalog.Index(t)
-	} else {
-		ix = xmlstore.BuildIndex(t)
+// planFor returns the engine's compiled physical form of plan, lowering it
+// on first use.
+func (en *Engine) planFor(plan algebra.Expr) (*physical.Plan, error) {
+	if v, ok := en.plans.Load(plan); ok {
+		return v.(*physical.Plan), nil
 	}
-	if en.Preps == nil {
-		return join.Prepare(en.Algorithm, ix, pat)
+	p, err := physical.Compile(plan, en.Algorithm)
+	if err != nil {
+		return nil, err
 	}
-	return en.Preps.prepared(en.Algorithm, ix, pat)
+	v, _ := en.plans.LoadOrStore(plan, p)
+	return v.(*physical.Plan), nil
 }
 
 // Run evaluates a plan to an item sequence.
 func (en *Engine) Run(plan algebra.Expr) (xdm.Sequence, error) {
-	v, err := en.eval(plan, nil)
+	p, err := en.planFor(plan)
 	if err != nil {
 		return nil, err
 	}
-	return v.Items()
-}
-
-func (en *Engine) eval(e algebra.Expr, sc *scope) (Value, error) {
-	switch x := e.(type) {
-	case *algebra.In:
-		if it, ok := sc.currentItem(); ok {
-			return ItemsValue(xdm.Singleton(it)), nil
-		}
-		if t, ok := sc.currentTuple(); ok {
-			return TuplesValue([]*Tuple{t}), nil
-		}
-		return Value{}, fmt.Errorf("exec: IN used outside a dependent context")
-
-	case *algebra.Field:
-		if v, ok := sc.lookupField(x.Name); ok {
-			return ItemsValue(v), nil
-		}
-		return Value{}, fmt.Errorf("exec: unbound field IN#%s", x.Name)
-
-	case *algebra.VarRef:
-		if v, ok := en.Vars[x.Name]; ok {
-			return ItemsValue(v), nil
-		}
-		return Value{}, fmt.Errorf("exec: unbound variable $%s", x.Name)
-
-	case *algebra.Const:
-		return ItemsValue(xdm.Singleton(x.Item)), nil
-
-	case *algebra.EmptySeq:
-		return ItemsValue(nil), nil
-
-	case *algebra.TreeJoin:
-		return en.evalTreeJoin(x, sc)
-
-	case *algebra.Call:
-		return en.evalCall(x, sc)
-
-	case *algebra.Compare:
-		l, err := en.evalItems(x.L, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		r, err := en.evalItems(x.R, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		b, err := xdm.GeneralCompare(x.Op, l, r)
-		if err != nil {
-			return Value{}, err
-		}
-		return ItemsValue(xdm.Singleton(xdm.Bool(b))), nil
-
-	case *algebra.Sequence:
-		var out xdm.Sequence
-		for _, it := range x.Items {
-			v, err := en.evalItems(it, sc)
-			if err != nil {
-				return Value{}, err
-			}
-			out = append(out, v...)
-		}
-		return ItemsValue(out), nil
-
-	case *algebra.Arith:
-		l, err := en.evalItems(x.L, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		r, err := en.evalItems(x.R, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		out, err := xdm.Arithmetic(x.Op, l, r)
-		if err != nil {
-			return Value{}, err
-		}
-		return ItemsValue(out), nil
-
-	case *algebra.And:
-		l, err := en.evalBool(x.L, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		if !l {
-			return ItemsValue(xdm.Singleton(xdm.Bool(false))), nil
-		}
-		r, err := en.evalBool(x.R, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		return ItemsValue(xdm.Singleton(xdm.Bool(r))), nil
-
-	case *algebra.Or:
-		l, err := en.evalBool(x.L, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		if l {
-			return ItemsValue(xdm.Singleton(xdm.Bool(true))), nil
-		}
-		r, err := en.evalBool(x.R, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		return ItemsValue(xdm.Singleton(xdm.Bool(r))), nil
-
-	case *algebra.If:
-		c, err := en.evalBool(x.Cond, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		if c {
-			return en.eval(x.Then, sc)
-		}
-		return en.eval(x.Else, sc)
-
-	case *algebra.LetBind:
-		v, err := en.evalItems(x.Value, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		return en.eval(x.Body, sc.pushTuple((*Tuple)(nil).Extend(x.Name, v)))
-
-	case *algebra.TypeSwitch:
-		return en.evalTypeSwitch(x, sc)
-
-	case *algebra.MapFromItem:
-		in, err := en.evalItems(x.Input, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		out := make([]*Tuple, len(in))
-		for i, it := range in {
-			out[i] = (*Tuple)(nil).Extend(x.Bind, xdm.Singleton(it))
-		}
-		return TuplesValue(out), nil
-
-	case *algebra.MapToItem:
-		in, err := en.evalTuples(x.Input, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		var out xdm.Sequence
-		for _, t := range in {
-			v, err := en.evalItems(x.Dep, sc.pushTuple(t))
-			if err != nil {
-				return Value{}, err
-			}
-			out = append(out, v...)
-		}
-		return ItemsValue(out), nil
-
-	case *algebra.Select:
-		in, err := en.evalTuples(x.Input, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		var out []*Tuple
-		for _, t := range in {
-			keep, err := en.evalBool(x.Pred, sc.pushTuple(t))
-			if err != nil {
-				return Value{}, err
-			}
-			if keep {
-				out = append(out, t)
-			}
-		}
-		return TuplesValue(out), nil
-
-	case *algebra.MapIndex:
-		in, err := en.evalTuples(x.Input, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		out := make([]*Tuple, len(in))
-		for i, t := range in {
-			out[i] = t.Extend(x.Field, xdm.Singleton(xdm.Integer(i+1)))
-		}
-		return TuplesValue(out), nil
-
-	case *algebra.Head:
-		return en.evalHead(x, sc)
-
-	case *algebra.TupleTreePattern:
-		return en.evalTTP(x, sc, false)
+	rt := &physical.Runtime{
+		Catalog:  en.Catalog,
+		Parallel: en.Parallel,
+		Vars:     p.BindVars(en.Vars),
 	}
-	return Value{}, fmt.Errorf("exec: cannot evaluate %T", e)
-}
-
-func (en *Engine) evalItems(e algebra.Expr, sc *scope) (xdm.Sequence, error) {
-	v, err := en.eval(e, sc)
-	if err != nil {
-		return nil, err
+	if en.Preps != nil {
+		// The nil check matters: assigning a nil *PrepCache directly would
+		// make the interface non-nil and panic inside it.
+		rt.Preps = en.Preps
 	}
-	return v.Items()
-}
-
-func (en *Engine) evalTuples(e algebra.Expr, sc *scope) ([]*Tuple, error) {
-	v, err := en.eval(e, sc)
-	if err != nil {
-		return nil, err
-	}
-	return v.Tuples()
-}
-
-func (en *Engine) evalBool(e algebra.Expr, sc *scope) (bool, error) {
-	v, err := en.evalItems(e, sc)
-	if err != nil {
-		return false, err
-	}
-	return xdm.EffectiveBool(v)
-}
-
-func (en *Engine) evalTreeJoin(tj *algebra.TreeJoin, sc *scope) (Value, error) {
-	in, err := en.evalItems(tj.Input, sc)
-	if err != nil {
-		return Value{}, err
-	}
-	var out xdm.Sequence
-	for _, it := range in {
-		n, ok := it.(*xdm.Node)
-		if !ok {
-			return Value{}, fmt.Errorf("exec: TreeJoin applied to atomic value %T", it)
-		}
-		for _, m := range xdm.Step(n, tj.Axis, tj.Test) {
-			out = append(out, m)
-		}
-	}
-	return ItemsValue(out), nil
-}
-
-func (en *Engine) evalCall(c *algebra.Call, sc *scope) (Value, error) {
-	if err := funcs.CheckArity(c.Name, len(c.Args)); err != nil {
-		return Value{}, fmt.Errorf("exec: %v", err)
-	}
-	args := make([]xdm.Sequence, len(c.Args))
-	for i, a := range c.Args {
-		v, err := en.evalItems(a, sc)
-		if err != nil {
-			return Value{}, err
-		}
-		args[i] = v
-	}
-	out, err := funcs.Invoke(c.Name, args)
-	if err != nil {
-		return Value{}, fmt.Errorf("exec: %w", err)
-	}
-	return ItemsValue(out), nil
-}
-
-func (en *Engine) evalTypeSwitch(ts *algebra.TypeSwitch, sc *scope) (Value, error) {
-	in, err := en.evalItems(ts.Input, sc)
-	if err != nil {
-		return Value{}, err
-	}
-	for _, c := range ts.Cases {
-		if c.Type == "numeric" && len(in) == 1 && xdm.IsNumeric(in[0]) {
-			return en.eval(c.Body, sc.pushTuple((*Tuple)(nil).Extend(c.Var, in)))
-		}
-	}
-	s2 := sc
-	if ts.DefVar != "" {
-		s2 = sc.pushTuple((*Tuple)(nil).Extend(ts.DefVar, in))
-	}
-	return en.eval(ts.Default, s2)
-}
-
-// evalHead returns the first tuple of the input. When the input is a
-// TupleTreePattern over a single input tuple, the pattern is evaluated with
-// a first-match limit, giving the nested-loop algorithm its cursor-style
-// early exit (§5.3).
-func (en *Engine) evalHead(h *algebra.Head, sc *scope) (Value, error) {
-	if ttp, ok := h.Input.(*algebra.TupleTreePattern); ok {
-		return en.evalTTP(ttp, sc, true)
-	}
-	in, err := en.evalTuples(h.Input, sc)
-	if err != nil {
-		return Value{}, err
-	}
-	if len(in) == 0 {
-		return TuplesValue(nil), nil
-	}
-	return TuplesValue(in[:1]), nil
-}
-
-// row pairs an input tuple with one pattern binding.
-type row struct {
-	tuple   *Tuple
-	binding join.Binding
-}
-
-// evalTTP implements the TupleTreePattern operator: a dependent join that,
-// for each input tuple, matches the pattern from the context nodes in the
-// pattern's input field, then emits the bindings in root-to-leaf lexical
-// document order with duplicate bindings removed (so a single output field
-// at the extraction point carries XPath semantics, §4.1).
-func (en *Engine) evalTTP(ttp *algebra.TupleTreePattern, sc *scope, firstOnly bool) (Value, error) {
-	in, err := en.evalTuples(ttp.Input, sc)
-	if err != nil {
-		return Value{}, err
-	}
-	// Collect the (tuple, context node) work list.
-	type work struct {
-		tuple *Tuple
-		ctx   *xdm.Node
-		prep  *join.Prepared
-	}
-	var items []work
-	for _, t := range in {
-		ctxSeq, ok := t.Lookup(ttp.Pattern.Input)
-		if !ok {
-			if ctxSeq, ok = sc.lookupField(ttp.Pattern.Input); !ok {
-				return Value{}, fmt.Errorf("exec: pattern input field %s unbound", ttp.Pattern.Input)
-			}
-		}
-		for _, it := range ctxSeq {
-			ctx, ok := it.(*xdm.Node)
-			if !ok {
-				return Value{}, fmt.Errorf("exec: pattern context is atomic value %T", it)
-			}
-			items = append(items, work{tuple: t, ctx: ctx})
-		}
-	}
-	// Resolve the prepared join once per distinct document (with a single
-	// document — the common case — this is one cache lookup for the whole
-	// work list, regardless of how many context nodes it holds).
-	var lastTree *xdm.Tree
-	var lastPrep *join.Prepared
-	for i := range items {
-		if t := items[i].ctx.Doc; t != lastTree {
-			p, err := en.prepFor(ttp.Pattern, t)
-			if err != nil {
-				return Value{}, err
-			}
-			lastTree, lastPrep = t, p
-		}
-		items[i].prep = lastPrep
-	}
-	var fields []string
-	if len(items) > 0 {
-		// All items share the pattern; the prepared form resolved the output
-		// fields once. With zero items the fields are never read.
-		fields = items[0].prep.OutputFields()
-	}
-	if firstOnly && len(items) == 1 {
-		b, found := items[0].prep.EvalFirst(items[0].ctx)
-		var rows []row
-		if found {
-			rows = append(rows, row{tuple: items[0].tuple, binding: b})
-		}
-		return en.ttpOutput(rows, fields, firstOnly)
-	}
-	if len(items) == 1 {
-		// One context node (the common case after rewrites root the pattern
-		// at the document): no per-item fan-out bookkeeping.
-		bs := items[0].prep.Eval(items[0].ctx)
-		rows := make([]row, len(bs))
-		for i, b := range bs {
-			rows[i] = row{tuple: items[0].tuple, binding: b}
-		}
-		return en.ttpOutput(rows, fields, firstOnly)
-	}
-	perItem := make([][]join.Binding, len(items))
-	if en.Parallel > 1 && len(items) > 1 {
-		workers := en.Parallel
-		if workers > len(items) {
-			workers = len(items)
-		}
-		var wg sync.WaitGroup
-		next := int64(-1)
-		for wk := 0; wk < workers; wk++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for {
-					i := int(atomic.AddInt64(&next, 1))
-					if i >= len(items) {
-						return
-					}
-					perItem[i] = items[i].prep.Eval(items[i].ctx)
-				}
-			}()
-		}
-		wg.Wait()
-	} else {
-		for i, w := range items {
-			perItem[i] = w.prep.Eval(w.ctx)
-		}
-	}
-	total := 0
-	for _, bs := range perItem {
-		total += len(bs)
-	}
-	rows := make([]row, 0, total)
-	for i, bs := range perItem {
-		for _, b := range bs {
-			rows = append(rows, row{tuple: items[i].tuple, binding: b})
-		}
-	}
-	return en.ttpOutput(rows, fields, firstOnly)
-}
-
-func (en *Engine) ttpOutput(rows []row, fields []string, firstOnly bool) (Value, error) {
-	// Root-to-leaf lexical document order over the binding vectors, then
-	// duplicate-binding elimination.
-	slices.SortStableFunc(rows, func(a, b row) int {
-		return compareBindings(a.binding, b.binding)
-	})
-	// The output tuples and their singleton field sequences come from two
-	// arenas sized up front, so emitting n rows costs three allocations, not
-	// 2n. The tuple arena never grows past its capacity, which keeps the
-	// parent pointers taken below stable.
-	nf := len(fields)
-	arena := make([]Tuple, 0, len(rows)*nf)
-	itemArena := make([]xdm.Item, len(rows)*nf)
-	ti := 0
-	out := make([]*Tuple, 0, len(rows))
-	for i, r := range rows {
-		if i > 0 && compareBindings(rows[i-1].binding, r.binding) == 0 {
-			continue
-		}
-		t := r.tuple
-		for k, f := range fields {
-			itemArena[ti] = r.binding[k]
-			arena = append(arena, Tuple{name: f, val: itemArena[ti : ti+1 : ti+1], parent: t})
-			t = &arena[len(arena)-1]
-			ti++
-		}
-		out = append(out, t)
-	}
-	if firstOnly && len(out) > 1 {
-		out = out[:1]
-	}
-	return TuplesValue(out), nil
-}
-
-func compareBindings(a, b join.Binding) int {
-	for i := range a {
-		if i >= len(b) {
-			return 1
-		}
-		if c := xdm.CompareOrder(a[i], b[i]); c != 0 {
-			return c
-		}
-	}
-	if len(a) < len(b) {
-		return -1
-	}
-	return 0
+	return p.Run(rt)
 }
 
 // EvalPlanItems is a convenience wrapper: evaluate plan and require an item

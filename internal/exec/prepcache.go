@@ -30,10 +30,11 @@ type prepKey struct {
 // NewPrepCache returns an empty cache.
 func NewPrepCache() *PrepCache { return &PrepCache{} }
 
-// prepared returns the cached prepared pattern, building and caching it on
-// first use. Concurrent callers may prepare the same key twice; the first
-// stored entry wins and preparation is idempotent.
-func (pc *PrepCache) prepared(alg join.Algorithm, ix *xmlstore.Index, pat *pattern.Pattern) (*join.Prepared, error) {
+// Prepared returns the cached prepared pattern, building and caching it on
+// first use (it implements physical.PrepSource). Concurrent callers may
+// prepare the same key twice; the first stored entry wins and preparation
+// is idempotent.
+func (pc *PrepCache) Prepared(alg join.Algorithm, ix *xmlstore.Index, pat *pattern.Pattern) (*join.Prepared, error) {
 	key := prepKey{pat: pat, tree: ix.Tree, alg: alg}
 	if v, ok := pc.m.Load(key); ok {
 		return v.(*join.Prepared), nil

@@ -73,46 +73,63 @@ func CheckArity(name string, n int) error {
 	return nil
 }
 
-// Invoke evaluates a builtin on already-evaluated arguments.
-func Invoke(name string, args []xdm.Sequence) (xdm.Sequence, error) {
-	switch name {
-	case "true":
+// Fn is the compiled form of a builtin: a direct function pointer over
+// already-evaluated arguments. The physical plan compiler resolves every
+// Call node to its Fn once at lowering time, so invocation performs no name
+// dispatch.
+type Fn func(args []xdm.Sequence) (xdm.Sequence, error)
+
+// impls binds every builtin of Table to its implementation.
+var impls = map[string]Fn{
+	"true": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return xdm.Singleton(xdm.Bool(true)), nil
-	case "false":
+	},
+	"false": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return xdm.Singleton(xdm.Bool(false)), nil
-	case "ddo":
+	},
+	"ddo": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return xdm.DDO(args[0])
-	case "count":
+	},
+	"count": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return xdm.Singleton(xdm.Integer(len(args[0]))), nil
-	case "boolean":
+	},
+	"boolean": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		b, err := xdm.EffectiveBool(args[0])
 		if err != nil {
 			return nil, err
 		}
 		return xdm.Singleton(xdm.Bool(b)), nil
-	case "not":
+	},
+	"not": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		b, err := xdm.EffectiveBool(args[0])
 		if err != nil {
 			return nil, err
 		}
 		return xdm.Singleton(xdm.Bool(!b)), nil
-	case "empty":
+	},
+	"empty": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return xdm.Singleton(xdm.Bool(len(args[0]) == 0)), nil
-	case "exists":
+	},
+	"exists": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return xdm.Singleton(xdm.Bool(len(args[0]) > 0)), nil
-	case "root":
+	},
+	"root": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return invokeRoot(args[0])
-	case "string":
+	},
+	"string": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		s, err := stringValue(args[0])
 		if err != nil {
 			return nil, err
 		}
 		return xdm.Singleton(xdm.String(s)), nil
-	case "data":
+	},
+	"data": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return xdm.AtomizeSequence(args[0]), nil
-	case "number":
+	},
+	"number": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return invokeNumber(args[0])
-	case "concat":
+	},
+	"concat": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		var b strings.Builder
 		for _, a := range args {
 			s, err := stringValue(a)
@@ -122,39 +139,82 @@ func Invoke(name string, args []xdm.Sequence) (xdm.Sequence, error) {
 			b.WriteString(s)
 		}
 		return xdm.Singleton(xdm.String(b.String())), nil
-	case "contains", "starts-with":
-		a, err := stringValue(args[0])
+	},
+	"contains": func(args []xdm.Sequence) (xdm.Sequence, error) {
+		a, b, err := stringPair(args)
 		if err != nil {
 			return nil, err
 		}
-		b, err := stringValue(args[1])
+		return xdm.Singleton(xdm.Bool(strings.Contains(a, b))), nil
+	},
+	"starts-with": func(args []xdm.Sequence) (xdm.Sequence, error) {
+		a, b, err := stringPair(args)
 		if err != nil {
 			return nil, err
-		}
-		if name == "contains" {
-			return xdm.Singleton(xdm.Bool(strings.Contains(a, b))), nil
 		}
 		return xdm.Singleton(xdm.Bool(strings.HasPrefix(a, b))), nil
-	case "string-length":
+	},
+	"string-length": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		s, err := stringValue(args[0])
 		if err != nil {
 			return nil, err
 		}
 		return xdm.Singleton(xdm.Integer(len([]rune(s)))), nil
-	case "normalize-space":
+	},
+	"normalize-space": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		s, err := stringValue(args[0])
 		if err != nil {
 			return nil, err
 		}
 		return xdm.Singleton(xdm.String(strings.Join(strings.Fields(s), " "))), nil
-	case "substring":
-		return invokeSubstring(args)
-	case "name":
+	},
+	"substring": invokeSubstring,
+	"name": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return invokeName(args[0])
-	case "sum", "avg", "min", "max":
-		return invokeAggregate(name, args[0])
+	},
+	"sum": func(args []xdm.Sequence) (xdm.Sequence, error) {
+		return invokeAggregate("sum", args[0])
+	},
+	"avg": func(args []xdm.Sequence) (xdm.Sequence, error) {
+		return invokeAggregate("avg", args[0])
+	},
+	"min": func(args []xdm.Sequence) (xdm.Sequence, error) {
+		return invokeAggregate("min", args[0])
+	},
+	"max": func(args []xdm.Sequence) (xdm.Sequence, error) {
+		return invokeAggregate("max", args[0])
+	},
+}
+
+// Resolve returns the implementation of a builtin. Arity is the caller's
+// responsibility (CheckArity); the returned Fn assumes a valid argument
+// count.
+func Resolve(name string) (Fn, bool) {
+	fn, ok := impls[name]
+	return fn, ok
+}
+
+// Invoke evaluates a builtin on already-evaluated arguments.
+func Invoke(name string, args []xdm.Sequence) (xdm.Sequence, error) {
+	fn, ok := impls[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown function %q", name)
 	}
-	return nil, fmt.Errorf("unknown function %q", name)
+	return fn(args)
+}
+
+// stringPair extracts the two singleton string arguments of the binary
+// string predicates.
+func stringPair(args []xdm.Sequence) (string, string, error) {
+	a, err := stringValue(args[0])
+	if err != nil {
+		return "", "", err
+	}
+	b, err := stringValue(args[1])
+	if err != nil {
+		return "", "", err
+	}
+	return a, b, nil
 }
 
 func invokeRoot(arg xdm.Sequence) (xdm.Sequence, error) {

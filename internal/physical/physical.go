@@ -1,0 +1,170 @@
+// Package physical compiles algebraic plans (internal/algebra) into
+// slot-addressed physical operator trees. The lowering pass runs once per
+// (plan, algorithm): it resolves every Field/In/VarRef to an integer slot in
+// a flat tuple frame, binds every Call to its builtin function pointer
+// (funcs.Resolve), and annotates every TupleTreePattern with its validated
+// pattern, output-field slots and physical algorithm choice — so evaluation
+// performs no string comparisons for tuple fields or variables, no name
+// dispatch for builtins, and no per-run pattern analysis.
+//
+// A Plan is immutable after Compile and safe for concurrent Run calls; all
+// per-run state lives in the Runtime and in frames allocated per call.
+package physical
+
+import (
+	"fmt"
+
+	"xqtp/internal/join"
+	"xqtp/internal/pattern"
+	"xqtp/internal/xdm"
+	"xqtp/internal/xmlstore"
+)
+
+// frame is one tuple of the physical executor: a flat, plan-wide array of
+// field sequences indexed by compile-time slot numbers. A nil entry means
+// the binder for that slot has not executed on this tuple's path (reading it
+// through its op yields the empty sequence, matching the persistent-chain
+// semantics where such a field was simply absent from an enclosing scope).
+type frame []xdm.Sequence
+
+// value is the result of one operator: an item sequence or a tuple-frame
+// sequence, mirroring the algebra's two-sorted typing.
+type value struct {
+	items    xdm.Sequence
+	frames   []frame
+	isFrames bool
+}
+
+func itemsValue(s xdm.Sequence) value { return value{items: s} }
+func framesValue(fs []frame) value    { return value{frames: fs, isFrames: true} }
+
+// itemsVal returns the item sequence, or an error if the value is tuples.
+func (v value) itemsVal() (xdm.Sequence, error) {
+	if v.isFrames {
+		return nil, fmt.Errorf("exec: expected an item sequence, got %d tuples", len(v.frames))
+	}
+	return v.items, nil
+}
+
+// framesVal returns the tuple frames, or an error if the value is items.
+func (v value) framesVal() ([]frame, error) {
+	if !v.isFrames {
+		return nil, fmt.Errorf("exec: expected a tuple sequence, got %d items", len(v.items))
+	}
+	return v.frames, nil
+}
+
+// op is a compiled physical operator.
+type op interface {
+	eval(rt *Runtime, fr frame) (value, error)
+}
+
+// PrepSource resolves (algorithm, document, pattern) to a prepared join;
+// implemented by exec.PrepCache. Plans fall back to one-shot join.Prepare
+// when the runtime carries none.
+type PrepSource interface {
+	Prepared(alg join.Algorithm, ix *xmlstore.Index, pat *pattern.Pattern) (*join.Prepared, error)
+}
+
+// Runtime is the per-engine execution environment of a compiled plan. It
+// carries only what varies between runs: the document side (catalog, prep
+// cache) and the variable bindings. A Runtime may be shared by concurrent
+// Run calls as long as its fields are not mutated.
+type Runtime struct {
+	// Catalog resolves documents to their indexes, building each once. Nil
+	// falls back to building an index per pattern evaluation.
+	Catalog *xmlstore.Catalog
+	// Preps caches prepared joins across plans and documents. Nil falls back
+	// to the plan's private per-operator cache plus one-shot preparation.
+	Preps PrepSource
+	// Parallel caps the goroutines evaluating one TupleTreePattern's context
+	// nodes concurrently (<=1: sequential).
+	Parallel int
+	// Vars holds the free-variable bindings by the plan's variable slots
+	// (Plan.BindVars). A nil entry is an unbound variable. Nil Vars with a
+	// non-nil Root binds every variable to Root.
+	Vars []*xdm.Sequence
+	// Root, when non-nil, is the uniform binding used when Vars is nil: the
+	// serving path binds every free variable (and the context item) to the
+	// document node, so per-run setup is storing one field.
+	Root xdm.Sequence
+}
+
+// varBinding resolves variable slot i.
+func (rt *Runtime) varBinding(i int) (xdm.Sequence, bool) {
+	if rt.Vars == nil {
+		if rt.Root != nil {
+			return rt.Root, true
+		}
+		return nil, false
+	}
+	if p := rt.Vars[i]; p != nil {
+		return *p, true
+	}
+	return nil, false
+}
+
+// Plan is a compiled physical plan: the operator tree plus its frame and
+// variable layouts.
+type Plan struct {
+	root op
+	alg  join.Algorithm
+
+	// slotNames maps each frame slot to the field name it was allocated
+	// for (explain output; never consulted at run time).
+	slotNames []string
+	// varNames maps each variable slot to its name, sorted by first use.
+	varNames []string
+	// ttps lists the plan's pattern operators in lowering order (explain).
+	ttps []*opTTP
+}
+
+// Algorithm returns the physical tree-pattern algorithm the plan was
+// compiled for.
+func (p *Plan) Algorithm() join.Algorithm { return p.alg }
+
+// NumSlots returns the width of the plan's tuple frame.
+func (p *Plan) NumSlots() int { return len(p.slotNames) }
+
+// Vars returns the plan's free-variable names in slot order.
+func (p *Plan) Vars() []string { return p.varNames }
+
+// Patterns returns the pattern of each TupleTreePattern operator, in
+// lowering order.
+func (p *Plan) Patterns() []*pattern.Pattern {
+	out := make([]*pattern.Pattern, len(p.ttps))
+	for i, t := range p.ttps {
+		out[i] = t.pat
+	}
+	return out
+}
+
+// BindVars resolves a name-keyed variable environment to the plan's slot
+// layout once per run; unbound names stay nil and error lazily on use.
+func (p *Plan) BindVars(vars map[string]xdm.Sequence) []*xdm.Sequence {
+	out := make([]*xdm.Sequence, len(p.varNames))
+	for i, n := range p.varNames {
+		if v, ok := vars[n]; ok {
+			v := v
+			out[i] = &v
+		}
+	}
+	return out
+}
+
+// Run evaluates the plan to an item sequence.
+func (p *Plan) Run(rt *Runtime) (xdm.Sequence, error) {
+	v, err := p.root.eval(rt, nil)
+	if err != nil {
+		return nil, err
+	}
+	return v.itemsVal()
+}
+
+// newFrame clones fr into a fresh frame of the plan's width (fr may be nil:
+// the top-level context).
+func (p *Plan) newFrame(fr frame) frame {
+	nf := make(frame, len(p.slotNames))
+	copy(nf, fr)
+	return nf
+}

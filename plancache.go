@@ -11,8 +11,9 @@ const DefaultPlanCacheSize = 256
 
 // PlanCache is a bounded LRU cache of compiled queries keyed by (query
 // text, compile options). A serving process prepares each distinct query
-// once and reuses the compiled plan — and, through the Query's own
-// prepared-pattern cache, the resolved join — on every subsequent request.
+// once and reuses the compiled plan — and, through the Query's own physical
+// plan memoization and prepared-pattern cache, the slot-resolved physical
+// lowering and the resolved joins — on every subsequent request.
 //
 // All methods are safe for concurrent use. Cached *Query values are shared
 // between callers; they are immutable after compilation and safe to Run

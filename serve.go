@@ -125,8 +125,9 @@ func RunServe(w io.Writer, opts ExperimentOptions, jsonPath string, cpus []int) 
 	fmt.Fprintf(w, "%-6s %-7s %-12s %-12s %-10s %-10s %-8s\n",
 		"alg", "procs", "ns/op", "qps", "B/op", "allocs/op", "speedup")
 	for _, alg := range []Algorithm{NestedLoop, Twig, Staircase, Auto} {
-		// Warm every (query, document, algorithm) preparation so the timed
-		// region measures the steady serving state.
+		// Warm every (query, document, algorithm) combination — the physical
+		// lowering and the prepared joins — so the timed region measures the
+		// steady serving state: slot-addressed plans, one field store per run.
 		for _, q := range queries {
 			if _, err := q.Run(doc, alg); err != nil {
 				return err

@@ -22,6 +22,7 @@ import (
 	"io"
 	"sort"
 	"strings"
+	"sync"
 
 	"xqtp/internal/algebra"
 	"xqtp/internal/ast"
@@ -31,6 +32,8 @@ import (
 	"xqtp/internal/join"
 	"xqtp/internal/optimize"
 	"xqtp/internal/parser"
+	"xqtp/internal/pattern"
+	"xqtp/internal/physical"
 	"xqtp/internal/rewrite"
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
@@ -74,6 +77,12 @@ const (
 // (NL, TJ, SC).
 var Algorithms = []Algorithm{NestedLoop, Twig, Staircase}
 
+// ParseAlgorithm resolves an algorithm name ("nl", "sc", "twig"/"tj",
+// "stream", "auto", …) as accepted by the command-line tools.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	return join.ParseAlgorithm(name)
+}
+
 // Document is a loaded XML document with its index structures. A Document
 // is immutable after load and safe for concurrent Run calls; its catalog
 // hands every engine the same prebuilt index.
@@ -81,6 +90,9 @@ type Document struct {
 	tree    *xdm.Tree
 	index   *xmlstore.Index
 	catalog *xmlstore.Catalog
+	// rootSeq is the document node as a singleton sequence, allocated once:
+	// the uniform binding Run hands to every free variable.
+	rootSeq xdm.Sequence
 }
 
 // LoadXML parses an XML document and builds its tag-stream index.
@@ -101,7 +113,7 @@ func LoadXMLString(s string) (*Document, error) {
 // benchmark harness).
 func newDocument(t *xdm.Tree) *Document {
 	cat := xmlstore.NewCatalog()
-	return &Document{tree: t, index: cat.Index(t), catalog: cat}
+	return &Document{tree: t, index: cat.Index(t), catalog: cat, rootSeq: xdm.Singleton(t.Root)}
 }
 
 // Root returns the document node.
@@ -178,6 +190,10 @@ type Query struct {
 	// runs of this query, so serving workloads resolve each pattern's tag
 	// streams once per document instead of once per Run call.
 	preps *exec.PrepCache
+	// phys memoizes the physical lowering of the optimized plan, one entry
+	// per algorithm: slots resolved, builtins bound, patterns annotated —
+	// compiled on first use and shared by every subsequent Run.
+	phys sync.Map // Algorithm -> *physical.Plan
 }
 
 // Prepare compiles a query with the default options.
@@ -242,15 +258,31 @@ func MustPrepare(query string) *Query {
 	return q
 }
 
-// engine builds an execution engine that shares the document's catalog and
-// the query's prepared-pattern cache, so repeated runs do no index builds
-// and no pattern re-preparation.
-func (q *Query) engine(doc *Document, alg Algorithm, vars map[string]xdm.Sequence) *exec.Engine {
-	return &exec.Engine{
-		Vars:      vars,
-		Algorithm: alg,
-		Catalog:   doc.catalog,
-		Preps:     q.preps,
+// physicalPlan returns the query's compiled physical plan for alg, lowering
+// the optimized logical plan on first use and memoizing it. The compiled
+// plan is immutable and shared by concurrent runs.
+func (q *Query) physicalPlan(alg Algorithm) (*physical.Plan, error) {
+	if v, ok := q.phys.Load(alg); ok {
+		return v.(*physical.Plan), nil
+	}
+	p, err := physical.Compile(q.optimized, alg)
+	if err != nil {
+		return nil, err
+	}
+	v, _ := q.phys.LoadOrStore(alg, p)
+	return v.(*physical.Plan), nil
+}
+
+// runtime builds the per-call runtime: the document's catalog, the query's
+// prepared-pattern cache, and the variable environment. Free-variable slot
+// resolution happened at plan compile time, so the uniform document binding
+// is a single field store, not a map.
+func (q *Query) runtime(doc *Document, workers int) *physical.Runtime {
+	return &physical.Runtime{
+		Catalog:  doc.catalog,
+		Preps:    q.preps,
+		Parallel: workers,
+		Root:     doc.rootSeq,
 	}
 }
 
@@ -259,29 +291,34 @@ func (q *Query) engine(doc *Document, alg Algorithm, vars map[string]xdm.Sequenc
 // bound to the document node. Run is safe to call concurrently from many
 // goroutines on the same Query and Document.
 func (q *Query) Run(doc *Document, alg Algorithm) (Sequence, error) {
-	vars := map[string]xdm.Sequence{}
-	for _, v := range q.freeVars {
-		vars[v] = xdm.Singleton(doc.tree.Root)
+	p, err := q.physicalPlan(alg)
+	if err != nil {
+		return nil, err
 	}
-	return q.engine(doc, alg, vars).Run(q.optimized)
+	return p.Run(q.runtime(doc, 0))
 }
 
 // RunParallel evaluates like Run but allows the TupleTreePattern operator
 // to match its context nodes on up to workers goroutines. Results are
 // identical to the sequential evaluation.
 func (q *Query) RunParallel(doc *Document, alg Algorithm, workers int) (Sequence, error) {
-	vars := map[string]xdm.Sequence{}
-	for _, v := range q.freeVars {
-		vars[v] = xdm.Singleton(doc.tree.Root)
+	p, err := q.physicalPlan(alg)
+	if err != nil {
+		return nil, err
 	}
-	en := q.engine(doc, alg, vars)
-	en.Parallel = workers
-	return en.Run(q.optimized)
+	return p.Run(q.runtime(doc, workers))
 }
 
 // RunWithVars evaluates the query with explicit variable bindings.
 func (q *Query) RunWithVars(doc *Document, alg Algorithm, vars map[string]Sequence) (Sequence, error) {
-	return q.engine(doc, alg, vars).Run(q.optimized)
+	p, err := q.physicalPlan(alg)
+	if err != nil {
+		return nil, err
+	}
+	rt := q.runtime(doc, 0)
+	rt.Root = nil
+	rt.Vars = p.BindVars(vars)
+	return p.Run(rt)
 }
 
 // Plan returns the optimized plan in the paper's functional notation.
@@ -308,8 +345,10 @@ func (q *Query) Operators() map[string]int { return algebra.CountOperators(q.opt
 // optimized plan.
 func (q *Query) TreePatterns() int { return q.Operators()["TupleTreePattern"] }
 
-// Explain renders every compilation phase (the Fig. 2 pipeline) for
-// inspection.
+// Explain renders every compilation phase (the Fig. 2 pipeline, extended
+// with the physical lowering) for inspection. The physical phase shows the
+// default algorithm's plan; ExplainPhysical renders other algorithms and
+// per-document Auto choices.
 func (q *Query) Explain() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Query:\n  %s\n\n", q.Source)
@@ -317,8 +356,32 @@ func (q *Query) Explain() string {
 	fmt.Fprintf(&b, "Normalized (XQuery Core):\n%s\n\n", indentLines(core.Pretty(q.coreExpr)))
 	fmt.Fprintf(&b, "Rewritten (TPNF'):\n%s\n\n", indentLines(core.Pretty(q.rewritten)))
 	fmt.Fprintf(&b, "Compiled plan:\n%s\n", indentLines(algebra.Pretty(q.plan)))
-	fmt.Fprintf(&b, "Optimized plan:\n%s", indentLines(algebra.Pretty(q.optimized)))
+	fmt.Fprintf(&b, "Optimized plan:\n%s\n\n", indentLines(algebra.Pretty(q.optimized)))
+	if phys, err := q.ExplainPhysical(Staircase, nil); err != nil {
+		fmt.Fprintf(&b, "Physical plan:\n  (error: %v)", err)
+	} else {
+		fmt.Fprintf(&b, "Physical plan:\n%s", indentLines(phys))
+	}
 	return b.String()
+}
+
+// ExplainPhysical renders the compiled physical plan for alg: one operator
+// per line, with the frame slot every dependent field and variable was
+// compiled to and each pattern operator's algorithm annotation. When doc is
+// non-nil and alg is Auto, every pattern line additionally records the
+// algorithm the cost model chooses for that document (evaluated from the
+// document root, the context the optimized plans feed their patterns).
+func (q *Query) ExplainPhysical(alg Algorithm, doc *Document) (string, error) {
+	p, err := q.physicalPlan(alg)
+	if err != nil {
+		return "", err
+	}
+	if doc == nil || alg != Auto {
+		return p.Explain(), nil
+	}
+	return p.ExplainAnnotated(func(pat *pattern.Pattern) string {
+		return join.Choose(doc.index, doc.tree.Root, pat).String()
+	}), nil
 }
 
 func indentLines(s string) string {
