@@ -2,10 +2,10 @@ GO ?= go
 
 # Packages with concurrency-sensitive paths (shared catalog, prepared-join
 # caches, shared compiled physical plans, parallel TupleTreePattern workers)
-# get a dedicated -race run.
-RACE_PKGS = ./internal/exec ./internal/join ./internal/physical
+# plus the unsafe-aliasing ingest scanner get a dedicated -race run.
+RACE_PKGS = ./internal/exec ./internal/join ./internal/physical ./internal/xmlstore
 
-.PHONY: all build vet test race check bench serve bench-compare bench-smoke clean
+.PHONY: all build vet test race check bench serve bench-compare bench-smoke fuzz-smoke clean
 
 all: check
 
@@ -40,6 +40,14 @@ serve:
 bench-smoke:
 	$(GO) run ./cmd/treebench -exp table1 -quick -json /tmp/bench_table1_quick.json
 	-$(GO) run ./cmd/benchdiff BENCH_table1_quick.json /tmp/bench_table1_quick.json
+	$(GO) run ./cmd/treebench -exp ingest -quick -json /tmp/bench_ingest_quick.json
+	-$(GO) run ./cmd/benchdiff BENCH_ingest_quick.json /tmp/bench_ingest_quick.json
+
+# Short differential fuzz of the ingest scanner against the encoding/xml
+# oracle (the committed seed corpus always runs as part of `make test`;
+# this also explores new inputs for a bounded time).
+fuzz-smoke:
+	$(GO) test ./internal/xmlstore -run FuzzScanVsStd -fuzz FuzzScanVsStd -fuzztime 30s
 
 # Compare two treebench JSON reports (table1 or serve):
 #   make bench-compare OLD=BENCH_table1.json NEW=/tmp/new.json

@@ -16,11 +16,12 @@ import (
 	"xqtp"
 )
 
-// report is the union of the two treebench report shapes; the populated
-// slice identifies the kind.
+// report is the union of the treebench report shapes; the populated slice
+// identifies the kind.
 type report struct {
-	Cells   []xqtp.Table1Cell  `json:"cells"`
-	Results []xqtp.ServeResult `json:"results"`
+	Cells       []xqtp.Table1Cell  `json:"cells"`
+	Results     []xqtp.ServeResult `json:"results"`
+	IngestCells []xqtp.IngestCell  `json:"ingest_cells"`
 }
 
 func load(path string) (report, error) {
@@ -32,7 +33,7 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(r.Cells) == 0 && len(r.Results) == 0 {
+	if len(r.Cells) == 0 && len(r.Results) == 0 && len(r.IngestCells) == 0 {
 		return r, fmt.Errorf("%s: no cells or results", path)
 	}
 	return r, nil
@@ -95,6 +96,30 @@ func diffServe(old, new []xqtp.ServeResult) {
 	}
 }
 
+func diffIngest(old, new []xqtp.IngestCell) {
+	type key struct {
+		doc, parser string
+	}
+	prev := make(map[key]xqtp.IngestCell, len(old))
+	for _, c := range old {
+		prev[key{c.Document, c.Parser}] = c
+	}
+	fmt.Printf("%-16s %-6s %22s %22s %20s\n",
+		"document", "parser", "MB/s old→new", "B/op old→new", "allocs old→new")
+	for _, c := range new {
+		o, ok := prev[key{c.Document, c.Parser}]
+		if !ok {
+			fmt.Printf("%-16s %-6s (new cell)\n", c.Document, c.Parser)
+			continue
+		}
+		fmt.Printf("%-16s %-6s %9.1f→%-9.1f %s %8d→%-8d %s %6d→%-6d %s\n",
+			c.Document, c.Parser,
+			o.MBPerSec, c.MBPerSec, pct(o.MBPerSec, c.MBPerSec),
+			o.BytesPerOp, c.BytesPerOp, pct(float64(o.BytesPerOp), float64(c.BytesPerOp)),
+			o.AllocsPerOp, c.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(c.AllocsPerOp)))
+	}
+}
+
 func main() {
 	if len(os.Args) != 3 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
@@ -109,6 +134,8 @@ func main() {
 				diffTable1(oldR.Cells, newR.Cells)
 			case len(oldR.Results) > 0 && len(newR.Results) > 0:
 				diffServe(oldR.Results, newR.Results)
+			case len(oldR.IngestCells) > 0 && len(newR.IngestCells) > 0:
+				diffIngest(oldR.IngestCells, newR.IngestCells)
 			default:
 				err = fmt.Errorf("reports are of different kinds")
 			}

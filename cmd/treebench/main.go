@@ -9,6 +9,7 @@
 //	treebench -exp table1 -json BENCH_table1.json  # per-cell ns/allocs/bytes
 //	treebench -exp table1 -algs nl,sc,auto         # choose the measured algorithms
 //	treebench -exp serve -json BENCH_serve.json -cpus 1,2,4  # serving QPS
+//	treebench -exp ingest -json BENCH_ingest.json  # parse throughput fast vs std
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, serve, all")
+		exp      = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, serve, ingest, all")
 		quick    = flag.Bool("quick", false, "reduced document sizes for a fast run")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		repeats  = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
@@ -80,6 +81,8 @@ func main() {
 		err = xqtp.RunSection53(w, opts)
 	case "serve":
 		err = xqtp.RunServe(w, opts, *jsonPath, cpus)
+	case "ingest":
+		err = xqtp.RunIngest(w, opts, *jsonPath)
 	case "all":
 		err = xqtp.RunAll(w, opts)
 	default:

@@ -47,7 +47,11 @@ func main() {
 	defer w.Flush()
 	switch *format {
 	case "xml":
-		fmt.Fprintln(w, doc.XML())
+		if err := doc.WriteXML(w); err != nil {
+			fmt.Fprintln(os.Stderr, "xmlgen:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(w)
 	case "snapshot":
 		if err := doc.SaveSnapshot(w); err != nil {
 			fmt.Fprintln(os.Stderr, "xmlgen:", err)

@@ -32,7 +32,14 @@ type MemberConfig struct {
 // Member generates a MemBeR-style document: a random tree with exactly
 // cfg.Depth levels below the root and cfg.NumNodes elements whose tags are
 // drawn uniformly from t01..tNN.
-func Member(cfg MemberConfig) *xdm.Tree {
+func Member(cfg MemberConfig) *xdm.Tree { return xdm.Finalize(MemberRoot(cfg)) }
+
+// MemberRoot generates the MemBeR-style document as an unfinalized node
+// skeleton — no region encoding, no columns — for callers that serialize
+// the document (xmlstore.AppendXML works on skeletons) instead of querying
+// it, e.g. the ingest benchmark streaming generated XML straight into the
+// scanner.
+func MemberRoot(cfg MemberConfig) *xdm.Node {
 	if cfg.Depth <= 0 {
 		cfg.Depth = 4
 	}
@@ -66,7 +73,7 @@ func Member(cfg MemberConfig) *xdm.Tree {
 			levels[l+1] = append(levels[l+1], el)
 		}
 	}
-	return xdm.Finalize(root)
+	return root
 }
 
 // MemberForSize generates a MemBeR-style document whose serialized size is
@@ -88,6 +95,12 @@ func MemberForSize(seed int64, targetBytes int) *xdm.Tree {
 // that first-child chains reach the maximum depth, then the remaining nodes
 // are attached at random levels.
 func Deep(seed int64, numNodes, maxDepth int, tag string) *xdm.Tree {
+	return xdm.Finalize(DeepRoot(seed, numNodes, maxDepth, tag))
+}
+
+// DeepRoot generates the §5.3 document as an unfinalized skeleton (see
+// MemberRoot).
+func DeepRoot(seed int64, numNodes, maxDepth int, tag string) *xdm.Node {
 	rng := rand.New(rand.NewSource(seed))
 	root := xdm.NewElement(tag)
 	levels := make([][]*xdm.Node, maxDepth)
@@ -110,5 +123,5 @@ func Deep(seed int64, numNodes, maxDepth int, tag string) *xdm.Tree {
 		levels[l+1] = append(levels[l+1], el)
 		made++
 	}
-	return xdm.Finalize(root)
+	return root
 }

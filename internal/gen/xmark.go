@@ -27,7 +27,11 @@ var interests = []string{"sports", "music", "books", "travel", "food", "movies",
 //	site/open_auctions/open_auction/(initial, bidder*/(date,increase), current, itemref)
 //	site/closed_auctions/closed_auction/(seller, buyer, price, date)
 //	site/categories/category/(name, description)
-func XMark(cfg XMarkConfig) *xdm.Tree {
+func XMark(cfg XMarkConfig) *xdm.Tree { return xdm.Finalize(XMarkRoot(cfg)) }
+
+// XMarkRoot generates the auction document as an unfinalized node skeleton
+// (see MemberRoot).
+func XMarkRoot(cfg XMarkConfig) *xdm.Node {
 	if cfg.People <= 0 {
 		cfg.People = 255
 	}
@@ -134,7 +138,7 @@ func XMark(cfg XMarkConfig) *xdm.Tree {
 		cats.AppendChild(c)
 	}
 
-	return xdm.Finalize(site)
+	return site
 }
 
 func textEl(name, text string) *xdm.Node {

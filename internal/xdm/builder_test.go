@@ -1,0 +1,171 @@
+package xdm
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// buildBoth constructs the same small document through Finalize (pointer
+// construction + re-walk) and through the TreeBuilder, for equivalence
+// checks.
+func buildBoth() (*Tree, *Tree) {
+	// <r a="1" b="2"><x>hi</x><y c="3"><x/></y>tail</r>
+	r := NewElement("r")
+	r.SetAttr("a", "1")
+	r.SetAttr("b", "2")
+	x1 := NewElement("x")
+	x1.AppendChild(NewText("hi"))
+	r.AppendChild(x1)
+	y := NewElement("y")
+	y.SetAttr("c", "3")
+	y.AppendChild(NewElement("x"))
+	r.AppendChild(y)
+	r.AppendChild(NewText("tail"))
+	ref := Finalize(r)
+
+	b := NewTreeBuilder(0)
+	b.OpenElement([]byte("r"))
+	b.Attr([]byte("a"), "1")
+	b.Attr([]byte("b"), "2")
+	b.OpenElement([]byte("x"))
+	b.Text("hi")
+	b.CloseElement()
+	b.OpenElement([]byte("y"))
+	b.Attr([]byte("c"), "3")
+	b.OpenElement([]byte("x"))
+	b.CloseElement()
+	b.CloseElement()
+	b.Text("tail")
+	b.CloseElement()
+	return ref, b.Finish()
+}
+
+// CheckTreesEqual fails the test unless the two trees are structurally
+// identical: same nodes in preorder (kind, name, symbol, text, region
+// encoding, parent), same child/attribute lists, same symbol tables, and
+// same SoA columns. Exported to the package tests only; the xmlstore
+// differential suite has its own copy working through the public API.
+func checkTreesEqual(t *testing.T, want, got *Tree) {
+	t.Helper()
+	if want.CountNodes() != got.CountNodes() {
+		t.Fatalf("node count %d != %d", got.CountNodes(), want.CountNodes())
+	}
+	if want.Syms.Len() != got.Syms.Len() {
+		t.Fatalf("symbol count %d != %d", got.Syms.Len(), want.Syms.Len())
+	}
+	for s := 0; s < want.Syms.Len(); s++ {
+		if want.Syms.Name(Sym(s)) != got.Syms.Name(Sym(s)) {
+			t.Fatalf("symbol %d: %q != %q", s, got.Syms.Name(Sym(s)), want.Syms.Name(Sym(s)))
+		}
+	}
+	for pre := range want.Nodes {
+		w, g := want.Nodes[pre], got.Nodes[pre]
+		if w.Kind != g.Kind || w.Name != g.Name || w.Text != g.Text || w.Sym != g.Sym {
+			t.Fatalf("pre %d: node %v != %v", pre, g, w)
+		}
+		if w.Pre != g.Pre || w.Post != g.Post || w.Size != g.Size || w.Level != g.Level {
+			t.Fatalf("pre %d: encoding (pre=%d post=%d size=%d level=%d) != (pre=%d post=%d size=%d level=%d)",
+				pre, g.Pre, g.Post, g.Size, g.Level, w.Pre, w.Post, w.Size, w.Level)
+		}
+		wp, gp := -1, -1
+		if w.Parent != nil {
+			wp = w.Parent.Pre
+		}
+		if g.Parent != nil {
+			gp = g.Parent.Pre
+		}
+		if wp != gp {
+			t.Fatalf("pre %d: parent %d != %d", pre, gp, wp)
+		}
+		if len(w.Children) != len(g.Children) || len(w.Attrs) != len(g.Attrs) {
+			t.Fatalf("pre %d: %d children/%d attrs != %d children/%d attrs",
+				pre, len(g.Children), len(g.Attrs), len(w.Children), len(w.Attrs))
+		}
+		for i := range w.Children {
+			if w.Children[i].Pre != g.Children[i].Pre {
+				t.Fatalf("pre %d child %d: %d != %d", pre, i, g.Children[i].Pre, w.Children[i].Pre)
+			}
+		}
+		for i := range w.Attrs {
+			if w.Attrs[i].Pre != g.Attrs[i].Pre {
+				t.Fatalf("pre %d attr %d: %d != %d", pre, i, g.Attrs[i].Pre, w.Attrs[i].Pre)
+			}
+		}
+		if g.Doc != got {
+			t.Fatalf("pre %d: Doc pointer not set", pre)
+		}
+	}
+	wc, gc := want.Cols, got.Cols
+	for pre := range want.Nodes {
+		if wc.Post[pre] != gc.Post[pre] || wc.Size[pre] != gc.Size[pre] ||
+			wc.Level[pre] != gc.Level[pre] || wc.Parent[pre] != gc.Parent[pre] ||
+			wc.Kind[pre] != gc.Kind[pre] || wc.Sym[pre] != gc.Sym[pre] {
+			t.Fatalf("pre %d: column mismatch (post %d/%d size %d/%d level %d/%d parent %d/%d kind %d/%d sym %d/%d)",
+				pre, gc.Post[pre], wc.Post[pre], gc.Size[pre], wc.Size[pre], gc.Level[pre], wc.Level[pre],
+				gc.Parent[pre], wc.Parent[pre], gc.Kind[pre], wc.Kind[pre], gc.Sym[pre], wc.Sym[pre])
+		}
+	}
+}
+
+func TestBuilderMatchesFinalize(t *testing.T) {
+	want, got := buildBoth()
+	checkTreesEqual(t, want, got)
+}
+
+func TestBuilderEmptyRoot(t *testing.T) {
+	b := NewTreeBuilder(0)
+	b.OpenElement([]byte("only"))
+	if b.Depth() != 1 {
+		t.Fatalf("Depth = %d, want 1", b.Depth())
+	}
+	b.CloseElement()
+	tr := b.Finish()
+	want := Finalize(NewElement("only"))
+	checkTreesEqual(t, want, tr)
+}
+
+// TestBuilderRandomTrees drives both construction paths with an identical
+// random event sequence and checks structural equality, exercising the slab
+// and pointer arenas across chunk boundaries.
+func TestBuilderRandomTrees(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		b := NewTreeBuilder(0)
+		root := NewElement("root")
+		b.OpenElement([]byte("root"))
+		stack := []*Node{root}
+		for i := 0; i < 2000; i++ {
+			switch op := rng.Intn(10); {
+			case op < 4: // open child
+				name := fmt.Sprintf("t%d", rng.Intn(7))
+				el := NewElement(name)
+				stack[len(stack)-1].AppendChild(el)
+				stack = append(stack, el)
+				b.OpenElement([]byte(name))
+			case op < 6 && len(stack) > 1: // close
+				stack = stack[:len(stack)-1]
+				b.CloseElement()
+			case op == 6: // attribute (only valid right after open: emulate by
+				// attaching to the current top before it has children)
+				if top := stack[len(stack)-1]; len(top.Children) == 0 {
+					name := fmt.Sprintf("a%d", rng.Intn(4))
+					top.SetAttr(name, "v")
+					b.Attr([]byte(name), "v")
+				}
+			default: // text
+				top := stack[len(stack)-1]
+				top.AppendChild(NewText("x"))
+				b.Text("x")
+			}
+		}
+		for len(stack) > 1 {
+			stack = stack[:len(stack)-1]
+			b.CloseElement()
+		}
+		b.CloseElement()
+		want := Finalize(root)
+		got := b.Finish()
+		checkTreesEqual(t, want, got)
+	}
+}

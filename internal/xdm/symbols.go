@@ -34,6 +34,21 @@ func (st *Symbols) intern(name string) Sym {
 	return s
 }
 
+// internBytes is intern for a name still sitting in a scanner's input
+// buffer. The map lookup on string(name) does not allocate (the compiler
+// recognizes the pattern); the name is copied to a string only on first
+// occurrence, so a scan interns each distinct tag exactly once.
+func (st *Symbols) internBytes(name []byte) Sym {
+	if s, ok := st.byName[string(name)]; ok {
+		return s
+	}
+	s := Sym(len(st.names))
+	owned := string(name)
+	st.byName[owned] = s
+	st.names = append(st.names, owned)
+	return s
+}
+
 // Lookup resolves a name to its symbol. Names that do not occur in the tree
 // return (NoSym, false) — for a query name test this means the matching
 // stream is empty, no fallback scan needed.

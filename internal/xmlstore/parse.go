@@ -1,6 +1,9 @@
 // Package xmlstore loads XML documents into the XDM and maintains the index
 // structures (per-tag and per-attribute streams sorted by preorder rank)
-// that the set-at-a-time tree-pattern algorithms scan.
+// that the set-at-a-time tree-pattern algorithms scan. The serving entry
+// points (Parse, Ingest, in ingest.go) run a fused zero-copy scanner;
+// ParseStd below keeps the encoding/xml path alive as the reference oracle
+// for differential testing.
 package xmlstore
 
 import (
@@ -12,10 +15,12 @@ import (
 	"xqtp/internal/xdm"
 )
 
-// Parse reads an XML document from r and returns its XDM tree. Whitespace-
-// only text between elements is dropped (data-oriented parsing); mixed
-// content text is preserved.
-func Parse(r io.Reader) (*xdm.Tree, error) {
+// ParseStd reads an XML document from r through encoding/xml and builds the
+// tree via xdm.Finalize — the slow, well-understood reference path. The
+// fast scanner must produce a bit-identical tree (nodes, symbols, columns)
+// for every input this function accepts; the differential and fuzz suites
+// in this package enforce that. Production callers use Parse or Ingest.
+func ParseStd(r io.Reader) (*xdm.Tree, error) {
 	dec := xml.NewDecoder(r)
 	var stack []*xdm.Node
 	var root *xdm.Node
@@ -31,7 +36,12 @@ func Parse(r io.Reader) (*xdm.Tree, error) {
 		case xml.StartElement:
 			el := xdm.NewElement(t.Name.Local)
 			for _, a := range t.Attr {
-				if a.Name.Space == "xmlns" || a.Name.Local == "xmlns" {
+				// Namespace declarations carry no attribute node: xmlns="..."
+				// and xmlns:p="..." are dropped. An attribute whose *prefix*
+				// resolves to the xmlns space covers both spellings; a plain
+				// local name that merely ends in "xmlns" (e.g. p:xmlns) is a
+				// real attribute and must be kept.
+				if a.Name.Space == "xmlns" || (a.Name.Space == "" && a.Name.Local == "xmlns") {
 					continue
 				}
 				el.SetAttr(a.Name.Local, a.Value)
@@ -70,61 +80,150 @@ func Parse(r io.Reader) (*xdm.Tree, error) {
 	return xdm.Finalize(root), nil
 }
 
-// ParseString parses an XML document held in a string.
-func ParseString(s string) (*xdm.Tree, error) { return Parse(strings.NewReader(s)) }
+// ParseStdString parses a document held in a string through the reference
+// path.
+func ParseStdString(s string) (*xdm.Tree, error) { return ParseStd(strings.NewReader(s)) }
 
-// Serialize writes the subtree rooted at n as XML to w.
-func Serialize(w io.Writer, n *xdm.Node) error {
+// AppendXML appends the XML serialization of the subtree rooted at n to dst
+// and returns the extended slice. The output round-trips through both Parse
+// and ParseStd: text escapes &, <, > and carriage returns (which parsers
+// would otherwise normalize to \n); attribute values additionally escape
+// quotes, tabs, and newlines numerically.
+func AppendXML(dst []byte, n *xdm.Node) []byte {
 	switch n.Kind {
 	case xdm.DocumentNode:
 		for _, c := range n.Children {
-			if err := Serialize(w, c); err != nil {
-				return err
-			}
+			dst = AppendXML(dst, c)
 		}
-		return nil
+		return dst
 	case xdm.TextNode:
-		return escapeTo(w, n.Text)
+		return appendEscaped(dst, n.Text, false)
 	case xdm.AttributeNode:
-		_, err := fmt.Fprintf(w, "%s=%q", n.Name, n.Text)
-		return err
+		dst = append(dst, n.Name...)
+		dst = append(dst, '=', '"')
+		dst = appendEscaped(dst, n.Text, true)
+		return append(dst, '"')
 	}
-	if _, err := fmt.Fprintf(w, "<%s", n.Name); err != nil {
-		return err
-	}
+	dst = append(dst, '<')
+	dst = append(dst, n.Name...)
 	for _, a := range n.Attrs {
-		if _, err := fmt.Fprintf(w, " %s=%q", a.Name, a.Text); err != nil {
-			return err
-		}
+		dst = append(dst, ' ')
+		dst = AppendXML(dst, a)
 	}
 	if len(n.Children) == 0 {
-		_, err := io.WriteString(w, "/>")
-		return err
+		return append(dst, '/', '>')
 	}
-	if _, err := io.WriteString(w, ">"); err != nil {
-		return err
-	}
+	dst = append(dst, '>')
 	for _, c := range n.Children {
-		if err := Serialize(w, c); err != nil {
-			return err
+		dst = AppendXML(dst, c)
+	}
+	dst = append(dst, '<', '/')
+	dst = append(dst, n.Name...)
+	return append(dst, '>')
+}
+
+// appendEscaped appends s with XML escaping. Attribute mode also escapes
+// the delimiter quote and whitespace that attribute-value normalization
+// would fold.
+func appendEscaped(dst []byte, s string, attr bool) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '&':
+			dst = append(dst, "&amp;"...)
+		case '<':
+			dst = append(dst, "&lt;"...)
+		case '>':
+			dst = append(dst, "&gt;"...)
+		case '\r':
+			dst = append(dst, "&#xD;"...)
+		case '"':
+			if attr {
+				dst = append(dst, "&quot;"...)
+			} else {
+				dst = append(dst, c)
+			}
+		case '\n':
+			if attr {
+				dst = append(dst, "&#xA;"...)
+			} else {
+				dst = append(dst, c)
+			}
+		case '\t':
+			if attr {
+				dst = append(dst, "&#x9;"...)
+			} else {
+				dst = append(dst, c)
+			}
+		default:
+			dst = append(dst, c)
 		}
 	}
-	_, err := fmt.Fprintf(w, "</%s>", n.Name)
-	return err
+	return dst
+}
+
+// Serialize writes the subtree rooted at n as XML to w, streaming through a
+// fixed-size buffer instead of materializing the whole serialization. The
+// document generators stream through it into an IngestWriter, so generated
+// documents reach the scanner without an intermediate full-document string.
+func Serialize(w io.Writer, n *xdm.Node) error {
+	x := &xmlWriter{w: w, buf: make([]byte, 0, serializeBufSize)}
+	x.emit(n)
+	x.flush()
+	return x.err
+}
+
+const serializeBufSize = 32 << 10
+
+type xmlWriter struct {
+	w   io.Writer
+	buf []byte
+	err error
+}
+
+func (x *xmlWriter) flush() {
+	if len(x.buf) > 0 && x.err == nil {
+		_, x.err = x.w.Write(x.buf)
+	}
+	x.buf = x.buf[:0]
+}
+
+func (x *xmlWriter) emit(n *xdm.Node) {
+	if x.err != nil {
+		return
+	}
+	switch n.Kind {
+	case xdm.DocumentNode:
+		for _, c := range n.Children {
+			x.emit(c)
+		}
+		return
+	case xdm.TextNode, xdm.AttributeNode:
+		x.buf = AppendXML(x.buf, n)
+	default:
+		x.buf = append(x.buf, '<')
+		x.buf = append(x.buf, n.Name...)
+		for _, a := range n.Attrs {
+			x.buf = append(x.buf, ' ')
+			x.buf = AppendXML(x.buf, a)
+		}
+		if len(n.Children) == 0 {
+			x.buf = append(x.buf, '/', '>')
+		} else {
+			x.buf = append(x.buf, '>')
+			for _, c := range n.Children {
+				x.emit(c)
+			}
+			x.buf = append(x.buf, '<', '/')
+			x.buf = append(x.buf, n.Name...)
+			x.buf = append(x.buf, '>')
+		}
+	}
+	if len(x.buf) >= serializeBufSize {
+		x.flush()
+	}
 }
 
 // SerializeString renders the subtree rooted at n as an XML string.
 func SerializeString(n *xdm.Node) string {
-	var b strings.Builder
-	if err := Serialize(&b, n); err != nil {
-		return ""
-	}
-	return b.String()
-}
-
-var xmlEscaper = strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
-
-func escapeTo(w io.Writer, s string) error {
-	_, err := xmlEscaper.WriteString(w, s)
-	return err
+	return string(AppendXML(nil, n))
 }

@@ -95,18 +95,35 @@ type Document struct {
 	rootSeq xdm.Sequence
 }
 
-// LoadXML parses an XML document and builds its tag-stream index.
+// LoadXML parses an XML document through the fused ingest path: one pass
+// over the input builds the tree, its columns, and the tag-stream index
+// together (no separate finalize or index walk).
 func LoadXML(r io.Reader) (*Document, error) {
-	t, err := xmlstore.Parse(r)
+	ix, err := xmlstore.IngestReader(r)
 	if err != nil {
 		return nil, err
 	}
-	return newDocument(t), nil
+	return newDocumentIndexed(ix), nil
 }
 
-// LoadXMLString parses an XML document held in a string.
+// LoadXMLBytes ingests an XML document held in a byte slice. It takes
+// ownership of data: the document's text values alias the buffer, so the
+// caller must not modify it afterwards.
+func LoadXMLBytes(data []byte) (*Document, error) {
+	ix, err := xmlstore.Ingest(data)
+	if err != nil {
+		return nil, err
+	}
+	return newDocumentIndexed(ix), nil
+}
+
+// LoadXMLString ingests an XML document held in a string.
 func LoadXMLString(s string) (*Document, error) {
-	return LoadXML(strings.NewReader(s))
+	ix, err := xmlstore.IngestString(s)
+	if err != nil {
+		return nil, err
+	}
+	return newDocumentIndexed(ix), nil
 }
 
 // newDocument wraps an already-built tree (used by the generators and the
@@ -114,6 +131,14 @@ func LoadXMLString(s string) (*Document, error) {
 func newDocument(t *xdm.Tree) *Document {
 	cat := xmlstore.NewCatalog()
 	return &Document{tree: t, index: cat.Index(t), catalog: cat, rootSeq: xdm.Singleton(t.Root)}
+}
+
+// newDocumentIndexed wraps a fused ingest result, registering its
+// already-built index in the catalog so no engine ever rebuilds it.
+func newDocumentIndexed(ix *xmlstore.Index) *Document {
+	cat := xmlstore.NewCatalog()
+	cat.Register(ix)
+	return &Document{tree: ix.Tree, index: ix, catalog: cat, rootSeq: xdm.Singleton(ix.Tree.Root)}
 }
 
 // Root returns the document node.
@@ -125,11 +150,17 @@ func (d *Document) NumNodes() int { return d.tree.CountNodes() }
 
 // SizeBytes returns the serialized size of the document.
 func (d *Document) SizeBytes() int {
-	return len(xmlstore.SerializeString(d.tree.Root))
+	return len(xmlstore.AppendXML(nil, d.tree.Root))
 }
 
 // XML serializes the document.
 func (d *Document) XML() string { return xmlstore.SerializeString(d.tree.Root) }
+
+// WriteXML serializes the document to w without materializing the whole
+// document as a string first.
+func (d *Document) WriteXML(w io.Writer) error {
+	return xmlstore.Serialize(w, d.tree.Root)
+}
 
 // SaveSnapshot writes the document in the compact binary snapshot format,
 // which reloads much faster than reparsing XML.
