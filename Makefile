@@ -2,8 +2,9 @@ GO ?= go
 
 # Packages with concurrency-sensitive paths (shared catalog, prepared-join
 # caches, shared compiled physical plans, parallel TupleTreePattern workers)
-# plus the unsafe-aliasing ingest scanner get a dedicated -race run.
-RACE_PKGS = ./internal/exec ./internal/join ./internal/physical ./internal/xmlstore
+# plus the unsafe-aliasing ingest scanner and the parallel corpus layer get a
+# dedicated -race run.
+RACE_PKGS = ./internal/collection ./internal/exec ./internal/join ./internal/physical ./internal/xmlstore
 
 .PHONY: all build vet test race check bench serve bench-compare bench-smoke fuzz-smoke clean
 
@@ -42,6 +43,8 @@ bench-smoke:
 	-$(GO) run ./cmd/benchdiff BENCH_table1_quick.json /tmp/bench_table1_quick.json
 	$(GO) run ./cmd/treebench -exp ingest -quick -json /tmp/bench_ingest_quick.json
 	-$(GO) run ./cmd/benchdiff BENCH_ingest_quick.json /tmp/bench_ingest_quick.json
+	$(GO) run ./cmd/treebench -exp collection -quick -json /tmp/bench_collection_quick.json
+	-$(GO) run ./cmd/benchdiff BENCH_collection_quick.json /tmp/bench_collection_quick.json
 
 # Short differential fuzz of the ingest scanner against the encoding/xml
 # oracle (the committed seed corpus always runs as part of `make test`;

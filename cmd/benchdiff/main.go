@@ -19,9 +19,10 @@ import (
 // report is the union of the treebench report shapes; the populated slice
 // identifies the kind.
 type report struct {
-	Cells       []xqtp.Table1Cell  `json:"cells"`
-	Results     []xqtp.ServeResult `json:"results"`
-	IngestCells []xqtp.IngestCell  `json:"ingest_cells"`
+	Cells           []xqtp.Table1Cell     `json:"cells"`
+	Results         []xqtp.ServeResult    `json:"results"`
+	IngestCells     []xqtp.IngestCell     `json:"ingest_cells"`
+	CollectionCells []xqtp.CollectionCell `json:"collection_cells"`
 }
 
 func load(path string) (report, error) {
@@ -33,7 +34,7 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(r.Cells) == 0 && len(r.Results) == 0 && len(r.IngestCells) == 0 {
+	if len(r.Cells) == 0 && len(r.Results) == 0 && len(r.IngestCells) == 0 && len(r.CollectionCells) == 0 {
 		return r, fmt.Errorf("%s: no cells or results", path)
 	}
 	return r, nil
@@ -120,6 +121,36 @@ func diffIngest(old, new []xqtp.IngestCell) {
 	}
 }
 
+func diffCollection(old, new []xqtp.CollectionCell) {
+	type key struct {
+		phase, query string
+		docs, work   int
+	}
+	prev := make(map[key]xqtp.CollectionCell, len(old))
+	for _, c := range old {
+		prev[key{c.Phase, c.Query, c.Docs, c.Workers}] = c
+	}
+	fmt.Printf("%-8s %-16s %-6s %-7s %24s %22s %20s\n",
+		"phase", "query", "docs", "workers", "MB/s|qps old→new", "B/op old→new", "allocs old→new")
+	for _, c := range new {
+		o, ok := prev[key{c.Phase, c.Query, c.Docs, c.Workers}]
+		if !ok {
+			fmt.Printf("%-8s %-16s %-6d %-7d (new cell)\n", c.Phase, c.Query, c.Docs, c.Workers)
+			continue
+		}
+		// The throughput column is MB/s for ingest rows, QPS for query rows.
+		oRate, nRate := o.MBPerSec, c.MBPerSec
+		if c.Phase == "query" {
+			oRate, nRate = o.QPS, c.QPS
+		}
+		fmt.Printf("%-8s %-16s %-6d %-7d %10.1f→%-10.1f %s %8d→%-8d %s %6d→%-6d %s\n",
+			c.Phase, c.Query, c.Docs, c.Workers,
+			oRate, nRate, pct(oRate, nRate),
+			o.BytesPerOp, c.BytesPerOp, pct(float64(o.BytesPerOp), float64(c.BytesPerOp)),
+			o.AllocsPerOp, c.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(c.AllocsPerOp)))
+	}
+}
+
 func main() {
 	if len(os.Args) != 3 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
@@ -136,6 +167,8 @@ func main() {
 				diffServe(oldR.Results, newR.Results)
 			case len(oldR.IngestCells) > 0 && len(newR.IngestCells) > 0:
 				diffIngest(oldR.IngestCells, newR.IngestCells)
+			case len(oldR.CollectionCells) > 0 && len(newR.CollectionCells) > 0:
+				diffCollection(oldR.CollectionCells, newR.CollectionCells)
 			default:
 				err = fmt.Errorf("reports are of different kinds")
 			}

@@ -10,6 +10,7 @@
 //	treebench -exp table1 -algs nl,sc,auto         # choose the measured algorithms
 //	treebench -exp serve -json BENCH_serve.json -cpus 1,2,4  # serving QPS
 //	treebench -exp ingest -json BENCH_ingest.json  # parse throughput fast vs std
+//	treebench -exp collection -json BENCH_collection.json  # corpus ingest MB/s + fan-out QPS
 package main
 
 import (
@@ -25,7 +26,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, serve, ingest, all")
+		exp      = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, serve, ingest, collection, all")
 		quick    = flag.Bool("quick", false, "reduced document sizes for a fast run")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		repeats  = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
@@ -83,6 +84,8 @@ func main() {
 		err = xqtp.RunServe(w, opts, *jsonPath, cpus)
 	case "ingest":
 		err = xqtp.RunIngest(w, opts, *jsonPath)
+	case "collection":
+		err = xqtp.RunCollection(w, opts, *jsonPath)
 	case "all":
 		err = xqtp.RunAll(w, opts)
 	default:

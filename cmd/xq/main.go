@@ -1,17 +1,29 @@
-// Command xq evaluates an XQuery expression against an XML document using
-// the tree-pattern compilation pipeline.
+// Command xq evaluates an XQuery expression against an XML document — or a
+// whole collection of them — using the tree-pattern compilation pipeline.
 //
 // Usage:
 //
 //	xq -query '$d//person[emailaddress]/name' -file doc.xml [-alg nl|sc|twig|auto] [-serialize]
 //	xq -query '$d//person/name' -file doc.xml -alg auto -explain   # physical plan + cost-model choice
 //	echo '<a><b/></a>' | xq -query '$d/a/b'
+//
+// Collections: naming several inputs (positional files, repeated use of the
+// same pattern via the shell, or -dir with a directory of *.xml) loads them
+// as one corpus in argument order. Root-bound queries fan out across the
+// members; fn:collection() sees every member and fn:doc($uri) resolves the
+// input paths:
+//
+//	xq -query 'fn:collection()//person/name' a.xml b.xml c.xml
+//	xq -query '$d//item/name' -dir corpus/ -workers 8 -with-uri
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
 
 	"xqtp"
 )
@@ -19,9 +31,12 @@ import (
 func main() {
 	var (
 		query     = flag.String("query", "", "XQuery expression (required)")
-		file      = flag.String("file", "", "XML input file (default: stdin)")
+		file      = flag.String("file", "", "XML input file (default: stdin; positional arguments add more)")
+		dir       = flag.String("dir", "", "load every *.xml file of a directory (sorted) into the collection")
+		workers   = flag.Int("workers", runtime.NumCPU(), "ingest and query parallelism for collections")
+		withURI   = flag.Bool("with-uri", false, "prefix every result line with the URI of the document holding it")
 		algName   = flag.String("alg", "sc", "tree-pattern algorithm: nl, sc, twig, auto, stream")
-		snapshot  = flag.Bool("snapshot", false, "input is a binary snapshot (see xmlgen -format snapshot)")
+		snapshot  = flag.Bool("snapshot", false, "input is a binary snapshot (see xmlgen -format snapshot; single-document only)")
 		serialize = flag.Bool("serialize", false, "serialize node results as XML")
 		noTP      = flag.Bool("no-tree-patterns", false, "disable tree-pattern detection (standard engine)")
 		explain   = flag.Bool("explain", false, "print the physical plan (with the per-pattern cost-model choice under -alg auto) before the results")
@@ -37,31 +52,59 @@ func main() {
 		fatal(err)
 	}
 
-	load := xqtp.LoadXML
-	if *snapshot {
-		load = xqtp.LoadSnapshot
+	paths, err := inputPaths(*file, *dir, flag.Args())
+	if err != nil {
+		fatal(err)
 	}
-	var doc *xqtp.Document
-	if *file != "" {
-		f, err := os.Open(*file)
-		if err != nil {
-			fatal(err)
-		}
-		doc, err = load(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-	} else {
-		doc, err = load(os.Stdin)
-		if err != nil {
-			fatal(err)
-		}
+	if *snapshot && len(paths) > 1 {
+		fatal(fmt.Errorf("-snapshot supports a single input"))
 	}
 
 	opts := xqtp.DefaultOptions
 	opts.TreePatterns = !*noTP
 	q, err := xqtp.PrepareCachedWithOptions(*query, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	print := func(uri string, it xqtp.Item) {
+		var text string
+		if *serialize {
+			text = xqtp.SerializeItem(it)
+		} else {
+			text = xqtp.ItemString(it)
+		}
+		if *withURI {
+			fmt.Printf("%s\t%s\n", uri, text)
+		} else {
+			fmt.Println(text)
+		}
+	}
+
+	if len(paths) > 1 {
+		corpus, err := xqtp.LoadCorpusFiles(paths, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		if *explain {
+			phys, err := q.ExplainPhysical(alg, nil)
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Print(phys)
+		}
+		items, err := corpus.RunParallel(q, alg, *workers)
+		if err != nil {
+			fatal(err)
+		}
+		for _, it := range items {
+			uri, _ := corpus.URIOf(it)
+			print(uri, it)
+		}
+		return
+	}
+
+	doc, uri, err := loadSingle(paths, *snapshot)
 	if err != nil {
 		fatal(err)
 	}
@@ -72,17 +115,58 @@ func main() {
 		}
 		fmt.Print(phys)
 	}
-	items, err := q.Run(doc, alg)
+	items, err := q.RunParallel(doc, alg, *workers)
 	if err != nil {
 		fatal(err)
 	}
 	for _, it := range items {
-		if *serialize {
-			fmt.Println(xqtp.SerializeItem(it))
-		} else {
-			fmt.Println(xqtp.ItemString(it))
-		}
+		print(uri, it)
 	}
+}
+
+// inputPaths merges the -file flag, positional arguments, and -dir scan into
+// one ordered path list (empty: read stdin).
+func inputPaths(file, dir string, args []string) ([]string, error) {
+	var paths []string
+	if file != "" {
+		paths = append(paths, file)
+	}
+	paths = append(paths, args...)
+	if dir != "" {
+		matches, err := filepath.Glob(filepath.Join(dir, "*.xml"))
+		if err != nil {
+			return nil, err
+		}
+		if len(matches) == 0 {
+			return nil, fmt.Errorf("no *.xml files in %s", dir)
+		}
+		sort.Strings(matches)
+		paths = append(paths, matches...)
+	}
+	return paths, nil
+}
+
+// loadSingle loads the one-document case: a named file or stdin.
+func loadSingle(paths []string, snapshot bool) (*xqtp.Document, string, error) {
+	load := xqtp.LoadXML
+	if snapshot {
+		load = xqtp.LoadSnapshot
+	}
+	if len(paths) == 0 {
+		doc, err := load(os.Stdin)
+		return doc, "(stdin)", err
+	}
+	f, err := os.Open(paths[0])
+	if err != nil {
+		return nil, "", err
+	}
+	defer f.Close()
+	doc, err := load(f)
+	if err != nil {
+		return nil, "", err
+	}
+	doc.SetURI(paths[0])
+	return doc, paths[0], nil
 }
 
 func fatal(err error) {

@@ -1,0 +1,186 @@
+package xqtp
+
+import (
+	"fmt"
+
+	"xqtp/internal/collection"
+	"xqtp/internal/physical"
+	"xqtp/internal/xdm"
+)
+
+// CorpusSource is one document for corpus ingest: its URI and, optionally,
+// its content. Nil Data means the URI is a file path to read during ingest.
+type CorpusSource struct {
+	URI  string
+	Data []byte
+}
+
+// Corpus is an immutable collection of documents behind one query surface:
+// ingest parses the members concurrently, and Run fans a compiled query out
+// across them, merging per-document results in corpus order. A Corpus is
+// safe for concurrent Run calls; Extend returns a grown snapshot without
+// disturbing the original.
+type Corpus struct {
+	c *collection.Corpus
+}
+
+// LoadCorpusFiles ingests the given files on a bounded worker pool (workers
+// <= 0 means one worker per file). The corpus order is the argument order,
+// whatever the pool's scheduling.
+func LoadCorpusFiles(paths []string, workers int) (*Corpus, error) {
+	c, err := collection.Ingest(collection.FileSources(paths), workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}
+
+// LoadCorpus ingests in-memory or file-backed sources on a bounded worker
+// pool. As with LoadXMLBytes, the corpus takes ownership of the data slices.
+func LoadCorpus(sources []CorpusSource, workers int) (*Corpus, error) {
+	c, err := collection.Ingest(internalSources(sources), workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}
+
+// Extend ingests additional sources and returns a new corpus with the
+// existing members followed by the new ones. The receiver is unchanged, so
+// queries running against it concurrently are unaffected.
+func (c *Corpus) Extend(sources []CorpusSource, workers int) (*Corpus, error) {
+	grown, err := c.c.Extend(internalSources(sources), workers)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: grown}, nil
+}
+
+func internalSources(sources []CorpusSource) []collection.Source {
+	out := make([]collection.Source, len(sources))
+	for i, s := range sources {
+		out[i] = collection.Source{URI: s.URI, Data: s.Data}
+	}
+	return out
+}
+
+// Len returns the number of member documents.
+func (c *Corpus) Len() int { return c.c.Len() }
+
+// URIs returns the member URIs in corpus order.
+func (c *Corpus) URIs() []string {
+	out := make([]string, c.c.Len())
+	for i, d := range c.c.Docs() {
+		out[i] = d.URI
+	}
+	return out
+}
+
+// Document returns the member with the given URI as a standalone Document
+// sharing the corpus's catalog (so its indexes are never rebuilt).
+func (c *Corpus) Document(uri string) (*Document, bool) {
+	d, ok := c.c.ByURI(uri)
+	if !ok {
+		return nil, false
+	}
+	return c.wrap(d), true
+}
+
+// DocumentAt returns member i (in corpus order) as a standalone Document.
+func (c *Corpus) DocumentAt(i int) *Document {
+	return c.wrap(c.c.Doc(i))
+}
+
+func (c *Corpus) wrap(d *collection.Doc) *Document {
+	return &Document{
+		tree:    d.Tree(),
+		index:   d.Index,
+		catalog: c.c.Catalog(),
+		rootSeq: xdm.Singleton(d.Root()),
+		uri:     d.URI,
+		docs:    c.c,
+	}
+}
+
+// NumNodes returns the total node count across members.
+func (c *Corpus) NumNodes() int { return c.c.NumNodes() }
+
+// SizeBytes returns the total serialized size of the members.
+func (c *Corpus) SizeBytes() int { return c.c.SizeBytes() }
+
+// Run evaluates the query against every member and returns the merged
+// results in corpus order (which is cross-document document order). See
+// RunParallel for the evaluation strategy; Run is its workers=1 form.
+func (c *Corpus) Run(q *Query, alg Algorithm) (Sequence, error) {
+	return c.RunParallel(q, alg, 1)
+}
+
+// RunParallel evaluates the query against the corpus with up to workers
+// goroutines, in one of two shapes chosen by the plan itself:
+//
+// Root-bound plans (no fn:doc/fn:collection) fan out one evaluation per
+// member — the context item and every free variable bound to the member's
+// document node, exactly as Query.Run binds a single Document — and the
+// per-document results merge in corpus order, so the output is byte-identical
+// at any worker count. Members whose symbol tables lack a name the plan
+// provably requires (physical.RequiredNames over the conjunctive patterns)
+// are skipped without evaluation.
+//
+// Plans that call fn:doc or fn:collection see the whole corpus at once: they
+// evaluate once with the corpus bound as the document resolver, and workers
+// instead caps the pattern operators' per-context-node parallelism (a
+// fn:collection()-rooted pattern's context nodes are the member roots, so
+// cross-document parallelism falls out of the existing fan-out). Both shapes
+// reuse the query's plan and preparation caches, keyed per member document.
+func (c *Corpus) RunParallel(q *Query, alg Algorithm, workers int) (Sequence, error) {
+	p, err := q.physicalPlan(alg)
+	if err != nil {
+		return nil, err
+	}
+	if p.UsesDocAccess() {
+		rt := &physical.Runtime{
+			Catalog:  c.c.Catalog(),
+			Preps:    q.preps,
+			Parallel: workers,
+			Docs:     c.c,
+		}
+		return p.Run(rt)
+	}
+	var skip func(int) bool
+	if required := p.RequiredNames(); len(required) > 0 {
+		nt := c.c.Names()
+		skip = func(i int) bool { return !nt.HasAll(i, required) }
+	}
+	return c.c.RunAll(workers, skip, func(d *collection.Doc) (Sequence, error) {
+		rt := &physical.Runtime{
+			Catalog: c.c.Catalog(),
+			Preps:   q.preps,
+			Docs:    c.c,
+			Root:    xdm.Singleton(d.Root()),
+		}
+		return p.Run(rt)
+	})
+}
+
+// URIOf attributes a result item back to the member document holding it
+// (ok=false for atomic items and nodes from outside the corpus).
+func (c *Corpus) URIOf(it Item) (string, bool) {
+	n, isNode := it.(*xdm.Node)
+	if !isNode {
+		return "", false
+	}
+	d, ok := c.c.ByTree(n.Doc)
+	if !ok {
+		return "", false
+	}
+	return d.URI, true
+}
+
+// RunURI evaluates the query against a single member, bound like Query.Run.
+func (c *Corpus) RunURI(q *Query, alg Algorithm, uri string) (Sequence, error) {
+	d, ok := c.Document(uri)
+	if !ok {
+		return nil, fmt.Errorf("corpus: no document %q", uri)
+	}
+	return q.Run(d, alg)
+}

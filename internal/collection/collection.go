@@ -1,0 +1,165 @@
+// Package collection is the corpus layer: a sharded store of many XML
+// documents behind one query surface. A Corpus ingests documents
+// concurrently (bounded worker pool over the fused xmlstore scanner, each
+// member's index and symbol table built during its parse), assigns the
+// members a contiguous block of tree IDs in corpus order so cross-document
+// ordering is deterministic regardless of ingest scheduling, interns every
+// member tag into a corpus-level name table (query symbol → per-document
+// symbol id), and fans query evaluation out across the members on a worker
+// pool, merging per-document results back in stable corpus order through a
+// bounded channel.
+//
+// A Corpus is immutable after construction and safe for concurrent use;
+// Extend builds a new snapshot sharing the existing members, so readers of
+// the old corpus are never disturbed by growth.
+package collection
+
+import (
+	"fmt"
+	"sort"
+
+	"xqtp/internal/xdm"
+	"xqtp/internal/xmlstore"
+)
+
+// Doc is one corpus member: a parsed document with its index, addressed by
+// URI.
+type Doc struct {
+	URI   string
+	Index *xmlstore.Index
+}
+
+// Tree returns the member's document tree.
+func (d *Doc) Tree() *xdm.Tree { return d.Index.Tree }
+
+// Root returns the member's document node.
+func (d *Doc) Root() *xdm.Node { return d.Index.Tree.Root }
+
+// Corpus is an immutable snapshot of a document collection. Member order is
+// the corpus order: ascending tree IDs, which makes it coincide with
+// cross-document document order (xdm.CompareOrder ranks documents by ID) —
+// the invariant behind every determinism guarantee of the fan-out executor
+// and of fn:collection().
+type Corpus struct {
+	docs   []*Doc
+	byURI  map[string]int
+	byTree map[*xdm.Tree]int
+	// catalog registers every member index so any engine run against the
+	// corpus resolves indexes without rebuilding them.
+	catalog *xmlstore.Catalog
+	names   *NameTable
+	// roots is the memoized fn:collection() result: every member's document
+	// node in corpus order.
+	roots xdm.Sequence
+}
+
+// New builds a corpus from already-ingested members. Members are sorted by
+// tree ID (load order) to establish the corpus-order invariant; duplicate
+// URIs are rejected. The given slice is not retained.
+func New(docs []*Doc) (*Corpus, error) {
+	members := make([]*Doc, len(docs))
+	copy(members, docs)
+	sort.SliceStable(members, func(i, j int) bool {
+		return members[i].Tree().ID < members[j].Tree().ID
+	})
+	return assemble(members)
+}
+
+// assemble builds the corpus structures over a member slice already in
+// ascending tree-ID order.
+func assemble(members []*Doc) (*Corpus, error) {
+	c := &Corpus{
+		docs:    members,
+		byURI:   make(map[string]int, len(members)),
+		byTree:  make(map[*xdm.Tree]int, len(members)),
+		catalog: xmlstore.NewCatalog(),
+	}
+	roots := make(xdm.Sequence, len(members))
+	for i, d := range members {
+		if d.Index == nil {
+			return nil, fmt.Errorf("collection: member %q has no index", d.URI)
+		}
+		if prev, ok := c.byURI[d.URI]; ok {
+			return nil, fmt.Errorf("collection: duplicate URI %q (members %d and %d)", d.URI, prev, i)
+		}
+		c.byURI[d.URI] = i
+		c.byTree[d.Tree()] = i
+		c.catalog.Register(d.Index)
+		roots[i] = d.Root()
+	}
+	c.roots = roots
+	c.names = buildNameTable(members)
+	return c, nil
+}
+
+// Len returns the number of member documents.
+func (c *Corpus) Len() int { return len(c.docs) }
+
+// Doc returns member i in corpus order.
+func (c *Corpus) Doc(i int) *Doc { return c.docs[i] }
+
+// Docs returns the members in corpus order. The slice is shared: callers
+// must not modify it.
+func (c *Corpus) Docs() []*Doc { return c.docs }
+
+// ByURI resolves a member by URI.
+func (c *Corpus) ByURI(uri string) (*Doc, bool) {
+	i, ok := c.byURI[uri]
+	if !ok {
+		return nil, false
+	}
+	return c.docs[i], true
+}
+
+// ByTree resolves the member holding the given tree (attributing a result
+// node back to its document).
+func (c *Corpus) ByTree(t *xdm.Tree) (*Doc, bool) {
+	i, ok := c.byTree[t]
+	if !ok {
+		return nil, false
+	}
+	return c.docs[i], true
+}
+
+// Catalog returns the corpus catalog, with every member index registered.
+func (c *Corpus) Catalog() *xmlstore.Catalog { return c.catalog }
+
+// Names returns the corpus-level name table.
+func (c *Corpus) Names() *NameTable { return c.names }
+
+// ResolveDoc implements xdm.DocResolver: fn:doc($uri).
+func (c *Corpus) ResolveDoc(uri string) (*xdm.Node, error) {
+	d, ok := c.ByURI(uri)
+	if !ok {
+		return nil, fmt.Errorf("doc(%q): no such document in the collection", uri)
+	}
+	return d.Root(), nil
+}
+
+// ResolveCollection implements xdm.DocResolver: fn:collection(). The empty
+// name is the default collection — every member document node, in corpus
+// order (already document order by the tree-ID invariant).
+func (c *Corpus) ResolveCollection(name string) (xdm.Sequence, error) {
+	if name != "" {
+		return nil, fmt.Errorf("collection(%q): no such collection (only the default collection is defined)", name)
+	}
+	return c.roots, nil
+}
+
+// SizeBytes returns the total serialized size of the corpus members.
+func (c *Corpus) SizeBytes() int {
+	total := 0
+	for _, d := range c.docs {
+		total += len(xmlstore.AppendXML(nil, d.Root()))
+	}
+	return total
+}
+
+// NumNodes returns the total node count across members.
+func (c *Corpus) NumNodes() int {
+	total := 0
+	for _, d := range c.docs {
+		total += d.Tree().CountNodes()
+	}
+	return total
+}

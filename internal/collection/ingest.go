@@ -1,0 +1,126 @@
+package collection
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"xqtp/internal/xdm"
+	"xqtp/internal/xmlstore"
+)
+
+// Source is one document to ingest. Data nil means read the URI as a file
+// path inside the ingest worker, overlapping file IO with parsing.
+type Source struct {
+	URI  string
+	Data []byte
+}
+
+// FileSources builds sources that load each path from disk during ingest.
+func FileSources(paths []string) []Source {
+	out := make([]Source, len(paths))
+	for i, p := range paths {
+		out[i] = Source{URI: p}
+	}
+	return out
+}
+
+// Ingest parses every source on a bounded worker pool — each worker runs the
+// fused xmlstore scanner, so a member's columns, symbols and rank streams are
+// built during its one parse pass — and assembles the corpus. Tree IDs are
+// reassigned in source order after the last parse lands (xdm.AssignTreeIDs),
+// so the corpus order, and with it every query result, is independent of how
+// the pool scheduled the parses. workers <= 0 means one worker per source.
+func Ingest(sources []Source, workers int) (*Corpus, error) {
+	docs, err := ingestDocs(sources, workers)
+	if err != nil {
+		return nil, err
+	}
+	xdm.AssignTreeIDs(trees(docs))
+	return assemble(docs)
+}
+
+// Extend ingests additional sources and returns a new corpus holding the
+// existing members followed by the new ones. The receiver is untouched — a
+// corpus is an immutable snapshot, so queries running against it concurrently
+// with Extend never observe partial growth. The new members' tree IDs come
+// from a fresh block of the global counter, so they sort after every existing
+// member and the combined slice keeps the corpus-order invariant.
+func (c *Corpus) Extend(sources []Source, workers int) (*Corpus, error) {
+	docs, err := ingestDocs(sources, workers)
+	if err != nil {
+		return nil, err
+	}
+	xdm.AssignTreeIDs(trees(docs))
+	members := make([]*Doc, 0, len(c.docs)+len(docs))
+	members = append(members, c.docs...)
+	members = append(members, docs...)
+	return assemble(members)
+}
+
+func trees(docs []*Doc) []*xdm.Tree {
+	ts := make([]*xdm.Tree, len(docs))
+	for i, d := range docs {
+		ts[i] = d.Tree()
+	}
+	return ts
+}
+
+// ingestDocs runs the parse pool: a shared atomic cursor hands source
+// positions to workers, results land by position, and the first error (by
+// source order, for a deterministic message) stops the remaining work.
+func ingestDocs(sources []Source, workers int) ([]*Doc, error) {
+	n := len(sources)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers <= 0 || workers > n {
+		workers = n
+	}
+	docs := make([]*Doc, n)
+	errs := make([]error, n)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pos := int(next.Add(1)) - 1
+				if pos >= n || failed.Load() {
+					return
+				}
+				ix, err := ingestOne(sources[pos])
+				if err != nil {
+					errs[pos] = err
+					failed.Store(true)
+					continue
+				}
+				docs[pos] = &Doc{URI: sources[pos].URI, Index: ix}
+			}
+		}()
+	}
+	wg.Wait()
+	for pos, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("collection: ingest %q: %w", sources[pos].URI, err)
+		}
+	}
+	// An abandoned tail (a worker saw failed && bailed) only exists alongside
+	// an error, so every doc is populated here.
+	return docs, nil
+}
+
+func ingestOne(s Source) (*xmlstore.Index, error) {
+	data := s.Data
+	if data == nil {
+		b, err := os.ReadFile(s.URI)
+		if err != nil {
+			return nil, err
+		}
+		data = b
+	}
+	return xmlstore.Ingest(data)
+}

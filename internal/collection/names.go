@@ -1,0 +1,95 @@
+package collection
+
+import (
+	"sort"
+
+	"xqtp/internal/xdm"
+)
+
+// NameTable is the corpus-level name index: for every tag or attribute name
+// interned by any member, the per-document symbol IDs it resolved to. It
+// answers two questions in O(1) per document: "what is this query name's
+// symbol in document i" (so per-document plan preparation skips the string
+// hash), and "does document i contain this name at all" (so the fan-out
+// executor can skip documents that cannot match a conjunctive pattern).
+type NameTable struct {
+	// byName maps a name to its symbol in each member, indexed by corpus
+	// position; xdm.NoSym marks members that never interned the name.
+	byName map[string][]xdm.Sym
+	ndocs  int
+}
+
+func buildNameTable(members []*Doc) *NameTable {
+	nt := &NameTable{
+		byName: make(map[string][]xdm.Sym),
+		ndocs:  len(members),
+	}
+	for i, d := range members {
+		syms := d.Tree().Syms
+		for s := 0; s < syms.Len(); s++ {
+			name := syms.Name(xdm.Sym(s))
+			col, ok := nt.byName[name]
+			if !ok {
+				col = make([]xdm.Sym, len(members))
+				for j := range col {
+					col[j] = xdm.NoSym
+				}
+				nt.byName[name] = col
+			}
+			col[i] = xdm.Sym(s)
+		}
+	}
+	return nt
+}
+
+// Sym resolves a name to document doc's symbol ID (xdm.NoSym when the
+// document never interned the name).
+func (nt *NameTable) Sym(name string, doc int) xdm.Sym {
+	col, ok := nt.byName[name]
+	if !ok || doc < 0 || doc >= len(col) {
+		return xdm.NoSym
+	}
+	return col[doc]
+}
+
+// Has reports whether document doc interned the name (as an element tag or
+// attribute name).
+func (nt *NameTable) Has(name string, doc int) bool {
+	return nt.Sym(name, doc) != xdm.NoSym
+}
+
+// HasAll reports whether document doc interned every given name. A document
+// missing any name of a conjunctive tree pattern cannot produce a binding,
+// which is what makes HasAll a sound skip test for the fan-out executor.
+func (nt *NameTable) HasAll(doc int, names []string) bool {
+	for _, n := range names {
+		if !nt.Has(n, doc) {
+			return false
+		}
+	}
+	return true
+}
+
+// DocsWith counts the members that interned the name.
+func (nt *NameTable) DocsWith(name string) int {
+	n := 0
+	for _, s := range nt.byName[name] {
+		if s != xdm.NoSym {
+			n++
+		}
+	}
+	return n
+}
+
+// Names returns every name in the table, sorted.
+func (nt *NameTable) Names() []string {
+	out := make([]string, 0, len(nt.byName))
+	for n := range nt.byName {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of distinct names across the corpus.
+func (nt *NameTable) Len() int { return len(nt.byName) }

@@ -1,0 +1,116 @@
+package collection
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"xqtp/internal/xdm"
+)
+
+// RunAll evaluates eval against every member on a pool of workers and
+// returns the concatenation of the per-document results in corpus order.
+// skip, when non-nil, elides members without evaluating them (the caller's
+// name-table pruning hook); a skipped member contributes the empty sequence.
+//
+// Results stream back through a channel bounded at the worker count, and the
+// merger holds out-of-order arrivals in a pending buffer until their corpus
+// position comes up — so the output order is the corpus order no matter how
+// the pool interleaves, and at most workers+len(pending) document results
+// are in flight at once. The first failure (earliest corpus position among
+// the documents that evaluated) cancels the remaining work.
+func (c *Corpus) RunAll(workers int, skip func(doc int) bool, eval func(d *Doc) (xdm.Sequence, error)) (xdm.Sequence, error) {
+	n := len(c.docs)
+	if n == 0 {
+		return nil, nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		var out xdm.Sequence
+		for i, d := range c.docs {
+			if skip != nil && skip(i) {
+				continue
+			}
+			seq, err := eval(d)
+			if err != nil {
+				return nil, fmt.Errorf("collection: %s: %w", d.URI, err)
+			}
+			out = append(out, seq...)
+		}
+		return out, nil
+	}
+
+	type docResult struct {
+		pos int
+		seq xdm.Sequence
+		err error
+	}
+	results := make(chan docResult, workers)
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				pos := int(next.Add(1)) - 1
+				if pos >= n || failed.Load() {
+					return
+				}
+				if skip != nil && skip(pos) {
+					results <- docResult{pos: pos}
+					continue
+				}
+				seq, err := eval(c.docs[pos])
+				if err != nil {
+					failed.Store(true)
+				}
+				results <- docResult{pos: pos, seq: seq, err: err}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(results)
+	}()
+
+	var out xdm.Sequence
+	pending := make(map[int]xdm.Sequence, workers)
+	nextOut := 0
+	var firstErr error
+	errPos := n
+	for r := range results {
+		if r.err != nil {
+			if r.pos < errPos {
+				errPos = r.pos
+				firstErr = fmt.Errorf("collection: %s: %w", c.docs[r.pos].URI, r.err)
+			}
+			continue
+		}
+		if firstErr != nil {
+			continue // drain; the merged prefix no longer matters
+		}
+		if r.pos != nextOut {
+			pending[r.pos] = r.seq
+			continue
+		}
+		out = append(out, r.seq...)
+		nextOut++
+		for {
+			seq, ok := pending[nextOut]
+			if !ok {
+				break
+			}
+			delete(pending, nextOut)
+			out = append(out, seq...)
+			nextOut++
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}

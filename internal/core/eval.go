@@ -12,11 +12,30 @@ type Env struct {
 	name   string
 	val    xdm.Sequence
 	parent *Env
+	// docs resolves fn:doc / fn:collection; usually set on the root link by
+	// BindDocs and found by walking the chain.
+	docs xdm.DocResolver
 }
 
 // Bind returns a new environment extending env with name ↦ val.
 func (env *Env) Bind(name string, val xdm.Sequence) *Env {
 	return &Env{name: name, val: val, parent: env}
+}
+
+// BindDocs returns a new environment extending env with a document resolver
+// for fn:doc and fn:collection.
+func (env *Env) BindDocs(docs xdm.DocResolver) *Env {
+	return &Env{parent: env, docs: docs}
+}
+
+// resolver returns the innermost document resolver in scope.
+func (env *Env) resolver() xdm.DocResolver {
+	for e := env; e != nil; e = e.parent {
+		if e.docs != nil {
+			return e.docs
+		}
+	}
+	return nil
 }
 
 // Lookup resolves a variable.
@@ -262,9 +281,45 @@ func evalCall(c *Call, env *Env) (xdm.Sequence, error) {
 		}
 		args[i] = v
 	}
+	// The collection access functions read the environment's document
+	// resolver; everything else is a pure function of its arguments.
+	switch c.Name {
+	case "doc", "collection":
+		if docs := env.resolver(); docs != nil {
+			out, err := evalDocAccess(c.Name, args, docs)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			return out, nil
+		}
+	}
 	out, err := funcs.Invoke(c.Name, args)
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	return out, nil
+}
+
+// evalDocAccess evaluates fn:doc / fn:collection against a resolver.
+func evalDocAccess(name string, args []xdm.Sequence, docs xdm.DocResolver) (xdm.Sequence, error) {
+	if name == "doc" {
+		uri, err := funcs.DocArg("doc", args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := docs.ResolveDoc(uri)
+		if err != nil {
+			return nil, err
+		}
+		return xdm.Singleton(n), nil
+	}
+	coll := ""
+	if len(args) == 1 {
+		c, err := funcs.DocArg("collection", args[0])
+		if err != nil {
+			return nil, err
+		}
+		coll = c
+	}
+	return docs.ResolveCollection(coll)
 }

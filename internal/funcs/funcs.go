@@ -53,6 +53,12 @@ var Table = map[string]Signature{
 	"avg":             {Name: "avg", MinArgs: 1, MaxArgs: 1, DupSensitive: true},
 	"min":             {Name: "min", MinArgs: 1, MaxArgs: 1},
 	"max":             {Name: "max", MinArgs: 1, MaxArgs: 1},
+	// The collection access functions. Their evaluation needs the run's
+	// document resolver, so the core interpreter and the physical lowering
+	// intercept them (evalCall / opDoc, opCollection); the table entries give
+	// them names and arities like any other builtin.
+	"doc":        {Name: "doc", MinArgs: 1, MaxArgs: 1},
+	"collection": {Name: "collection", MinArgs: 0, MaxArgs: 1},
 }
 
 // Lookup resolves a builtin by name.
@@ -184,6 +190,29 @@ var impls = map[string]Fn{
 	"max": func(args []xdm.Sequence) (xdm.Sequence, error) {
 		return invokeAggregate("max", args[0])
 	},
+	// doc and collection only reach these fallbacks when evaluated without a
+	// document resolver in scope (the executors bind them to the run's
+	// corpus); the error names the missing piece instead of the function.
+	"doc": func(args []xdm.Sequence) (xdm.Sequence, error) {
+		return nil, fmt.Errorf("doc(): no document collection bound to this evaluation")
+	},
+	"collection": func(args []xdm.Sequence) (xdm.Sequence, error) {
+		return nil, fmt.Errorf("collection(): no document collection bound to this evaluation")
+	},
+}
+
+// DocArg extracts the singleton string URI argument of fn:doc (and the
+// optional collection-name argument of fn:collection) from an evaluated
+// argument sequence.
+func DocArg(fn string, arg xdm.Sequence) (string, error) {
+	if len(arg) != 1 {
+		return "", fmt.Errorf("%s(): URI argument has %d items", fn, len(arg))
+	}
+	s, ok := arg[0].(xdm.String)
+	if !ok {
+		return "", fmt.Errorf("%s(): URI argument is %T, not a string", fn, arg[0])
+	}
+	return string(s), nil
 }
 
 // Resolve returns the implementation of a builtin. Arity is the caller's

@@ -1,0 +1,182 @@
+package physical
+
+import (
+	"sort"
+
+	"xqtp/internal/pattern"
+	"xqtp/internal/xdm"
+)
+
+// RequiredNames returns names that must occur in a document for the plan to
+// produce a non-empty result there: if any returned name is absent from a
+// document's symbol table, running the plan with every binding (context item
+// and free variables) set to that document is guaranteed to yield the empty
+// sequence. A nil result means the analysis proved nothing and the caller
+// must evaluate every document.
+//
+// The claim rests on two facts. Tree patterns are conjunctive — every step
+// of the spine and of every predicate subtree must bind for any output tuple
+// to exist — so each name test in a pattern is required. And the operators
+// between a pattern and the plan root must preserve emptiness for the
+// requirement to propagate: tuple-stream operators (map, select, head,
+// tree-join) do, while function calls (count() of nothing is 0), constants,
+// comparisons and booleans do not, so their subtrees contribute no names.
+// Any fn:doc/fn:collection operator voids the whole analysis: it injects
+// nodes of other documents, against whose trees downstream patterns match.
+func (p *Plan) RequiredNames() []string {
+	p.reqOnce.Do(func() {
+		if p.usesDocs {
+			return
+		}
+		a := &analyzer{}
+		names := a.required(p.root)
+		if a.crossDoc || len(names) == 0 {
+			return
+		}
+		out := make([]string, 0, len(names))
+		for n := range names {
+			out = append(out, n)
+		}
+		sort.Strings(out)
+		p.reqNames = out
+	})
+	return p.reqNames
+}
+
+type analyzer struct {
+	// crossDoc is set when the plan can reach nodes outside the bound
+	// document (fn:doc / fn:collection), which unsounds every name claim.
+	crossDoc bool
+}
+
+// required returns the names whose absence forces o's result to be empty.
+// An empty map is the vacuous claim ("cannot prove emptiness from names"),
+// used for every operator that can produce output from nothing.
+func (a *analyzer) required(o op) map[string]struct{} {
+	switch x := o.(type) {
+	case *opDoc, *opCollection:
+		a.crossDoc = true
+		return nil
+
+	case *opTTP:
+		names := a.required(x.input)
+		if names == nil {
+			names = map[string]struct{}{}
+		}
+		patternNames(x.pat.Root, names)
+		return names
+
+	case *opTreeJoin:
+		names := a.required(x.input)
+		if x.test.Kind == xdm.TestName {
+			if names == nil {
+				names = map[string]struct{}{}
+			}
+			names[x.test.Name] = struct{}{}
+		}
+		return names
+
+	// Tuple-stream shells: empty input means empty output, so the input's
+	// requirement carries through. Their dependent expressions (dep, pred)
+	// run per input tuple and add nothing, but must still be walked for
+	// cross-document operators.
+	case *opMapFromItem:
+		return a.required(x.input)
+	case *opMapToItem:
+		a.scan(x.dep)
+		return a.required(x.input)
+	case *opSelect:
+		a.scan(x.pred)
+		return a.required(x.input)
+	case *opMapIndex:
+		return a.required(x.input)
+	case *opHead:
+		return a.required(x.input)
+
+	case *opLet:
+		// The let value may be empty without emptying the body, so only the
+		// body's requirement stands.
+		a.scan(x.value)
+		return a.required(x.body)
+
+	case *opIf:
+		// Absent names must empty both branches for the result to be
+		// provably empty, whichever way the condition goes.
+		a.scan(x.cond)
+		return intersect(a.required(x.then), a.required(x.els))
+
+	case *opTypeSwitch:
+		a.scan(x.input)
+		req := a.required(x.deflt)
+		for _, cs := range x.cases {
+			req = intersect(req, a.required(cs.body))
+		}
+		return req
+
+	case *opSequence:
+		// A sequence is empty only when every item is.
+		if len(x.items) == 0 {
+			return nil
+		}
+		req := a.required(x.items[0])
+		for _, it := range x.items[1:] {
+			req = intersect(req, a.required(it))
+		}
+		return req
+
+	// Everything below can produce output from empty inputs (count()=0,
+	// ()=() comparisons, constants, bindings), so it contributes no names —
+	// but its subtrees may still hide fn:doc/fn:collection.
+	case *opCall:
+		for _, arg := range x.args {
+			a.scan(arg)
+		}
+		return nil
+	case *opCompare:
+		a.scan(x.l)
+		a.scan(x.r)
+		return nil
+	case *opArith:
+		a.scan(x.l)
+		a.scan(x.r)
+		return nil
+	case *opAnd:
+		a.scan(x.l)
+		a.scan(x.r)
+		return nil
+	case *opOr:
+		a.scan(x.l)
+		a.scan(x.r)
+		return nil
+	}
+	return nil
+}
+
+// scan walks a subtree only for cross-document operators, discarding names.
+func (a *analyzer) scan(o op) { a.required(o) }
+
+// patternNames collects every name test in the step chain rooted at s —
+// spine and predicates alike, since all of them must bind.
+func patternNames(s *pattern.Step, into map[string]struct{}) {
+	for ; s != nil; s = s.Next {
+		if s.Test.Kind == xdm.TestName {
+			into[s.Test.Name] = struct{}{}
+		}
+		for _, p := range s.Preds {
+			patternNames(p, into)
+		}
+	}
+}
+
+func intersect(a, b map[string]struct{}) map[string]struct{} {
+	if len(a) == 0 || len(b) == 0 {
+		return nil
+	}
+	out := map[string]struct{}{}
+	for n := range a {
+		if _, ok := b[n]; ok {
+			out[n] = struct{}{}
+		}
+	}
+	return out
+}

@@ -119,6 +119,36 @@ func (c *compiler) compile(e algebra.Expr, en *env) (op, *env, error) {
 		return &opTreeJoin{axis: x.Axis, test: x.Test, input: in}, en, nil
 
 	case *algebra.Call:
+		// The collection access functions read the runtime's document
+		// resolver, which the generic builtin calling convention (a pure
+		// function of evaluated arguments) cannot reach; they lower to
+		// dedicated operators.
+		switch x.Name {
+		case "doc":
+			if len(x.Args) != 1 {
+				return nil, nil, fmt.Errorf("exec: doc() called with %d arguments", len(x.Args))
+			}
+			uri, _, err := c.compile(x.Args[0], en)
+			if err != nil {
+				return nil, nil, err
+			}
+			c.p.usesDocs = true
+			return &opDoc{uri: uri}, en, nil
+		case "collection":
+			if len(x.Args) > 1 {
+				return nil, nil, fmt.Errorf("exec: collection() called with %d arguments", len(x.Args))
+			}
+			o := &opCollection{}
+			if len(x.Args) == 1 {
+				name, _, err := c.compile(x.Args[0], en)
+				if err != nil {
+					return nil, nil, err
+				}
+				o.name = name
+			}
+			c.p.usesDocs = true
+			return o, en, nil
+		}
 		o := &opCall{name: x.Name, args: make([]op, len(x.Args))}
 		for i, a := range x.Args {
 			arg, _, err := c.compile(a, en)

@@ -146,6 +146,61 @@ func (o *opCall) eval(rt *Runtime, fr frame) (value, error) {
 	return itemsValue(out), nil
 }
 
+// opDoc is fn:doc($uri): it resolves a document URI against the runtime's
+// corpus. Compiled from Call nodes at lowering time (like every builtin),
+// but evaluated against per-run state — the plan itself stays corpus-free.
+type opDoc struct {
+	uri op
+}
+
+func (o *opDoc) eval(rt *Runtime, fr frame) (value, error) {
+	if rt.Docs == nil {
+		return value{}, fmt.Errorf("exec: doc(): no document collection bound to this evaluation")
+	}
+	arg, err := evalItems(o.uri, rt, fr)
+	if err != nil {
+		return value{}, err
+	}
+	uri, err := funcs.DocArg("doc", arg)
+	if err != nil {
+		return value{}, fmt.Errorf("exec: %w", err)
+	}
+	n, err := rt.Docs.ResolveDoc(uri)
+	if err != nil {
+		return value{}, fmt.Errorf("exec: %w", err)
+	}
+	return itemsValue(xdm.Singleton(n)), nil
+}
+
+// opCollection is fn:collection([$name]): the member document nodes of the
+// runtime's corpus, in stable corpus order (ascending tree IDs, so the
+// result is already in document order).
+type opCollection struct {
+	name op // nil: the default collection
+}
+
+func (o *opCollection) eval(rt *Runtime, fr frame) (value, error) {
+	if rt.Docs == nil {
+		return value{}, fmt.Errorf("exec: collection(): no document collection bound to this evaluation")
+	}
+	name := ""
+	if o.name != nil {
+		arg, err := evalItems(o.name, rt, fr)
+		if err != nil {
+			return value{}, err
+		}
+		name, err = funcs.DocArg("collection", arg)
+		if err != nil {
+			return value{}, fmt.Errorf("exec: %w", err)
+		}
+	}
+	roots, err := rt.Docs.ResolveCollection(name)
+	if err != nil {
+		return value{}, fmt.Errorf("exec: %w", err)
+	}
+	return itemsValue(roots), nil
+}
+
 // opCompare is the general comparison.
 type opCompare struct {
 	cmp  xdm.CompareOp

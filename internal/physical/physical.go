@@ -13,6 +13,7 @@ package physical
 
 import (
 	"fmt"
+	"sync"
 
 	"xqtp/internal/join"
 	"xqtp/internal/pattern"
@@ -80,6 +81,10 @@ type Runtime struct {
 	// Parallel caps the goroutines evaluating one TupleTreePattern's context
 	// nodes concurrently (<=1: sequential).
 	Parallel int
+	// Docs resolves fn:doc($uri) and fn:collection() to document nodes. Nil
+	// makes both functions evaluation errors (a plan that never calls them
+	// needs no corpus).
+	Docs xdm.DocResolver
 	// Vars holds the free-variable bindings by the plan's variable slots
 	// (Plan.BindVars). A nil entry is an unbound variable. Nil Vars with a
 	// non-nil Root binds every variable to Root.
@@ -117,7 +122,21 @@ type Plan struct {
 	varNames []string
 	// ttps lists the plan's pattern operators in lowering order (explain).
 	ttps []*opTTP
+	// usesDocs records (at lowering time) whether the plan contains an
+	// fn:doc/fn:collection operator, i.e. needs a Runtime document resolver
+	// and may reach nodes outside its root binding.
+	usesDocs bool
+
+	// reqOnce/reqNames memoize RequiredNames (the analysis is per-plan, not
+	// per-run).
+	reqOnce  sync.Once
+	reqNames []string
 }
+
+// UsesDocAccess reports whether the plan calls fn:doc or fn:collection, and
+// therefore must be evaluated against a corpus-wide runtime rather than
+// fanned out per document.
+func (p *Plan) UsesDocAccess() bool { return p.usesDocs }
 
 // Algorithm returns the physical tree-pattern algorithm the plan was
 // compiled for.

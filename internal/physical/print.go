@@ -84,6 +84,14 @@ func (p *Plan) write(b *strings.Builder, o op, depth int, choice ChoiceFn) {
 		for _, a := range x.args {
 			p.write(b, a, depth+1, choice)
 		}
+	case *opDoc:
+		b.WriteString("fn:doc\n")
+		p.write(b, x.uri, depth+1, choice)
+	case *opCollection:
+		b.WriteString("fn:collection\n")
+		if x.name != nil {
+			p.write(b, x.name, depth+1, choice)
+		}
 	case *opCompare:
 		fmt.Fprintf(b, "Compare[%s]\n", x.cmp)
 		p.write(b, x.l, depth+1, choice)

@@ -69,6 +69,14 @@ func inferProps(e core.Expr, env *propEnv) props {
 			return props{ord: in.atMostOne, df: in.atMostOne, unnested: in.atMostOne, atMostOne: in.atMostOne}
 		case "count", "boolean", "not", "empty", "exists", "true", "false":
 			return props{atMostOne: true}
+		case "doc":
+			// One document node.
+			return props{ord: true, df: true, unnested: true, atMostOne: true}
+		case "collection":
+			// Corpus members carry ascending tree IDs in corpus order, so the
+			// roots come out ordered (CompareOrder ranks documents by ID),
+			// distinct, and trivially unnested (no root contains another).
+			return props{ord: true, df: true, unnested: true}
 		}
 		return noProps
 	case *core.Let:

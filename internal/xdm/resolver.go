@@ -1,0 +1,38 @@
+package xdm
+
+// DocResolver gives query evaluation access to a document collection: the
+// run-time counterpart of fn:doc($uri) and fn:collection(). A resolver is
+// bound per run (physical.Runtime, core evaluation environment), so the same
+// compiled plan serves any corpus — the document side never leaks into the
+// plan.
+//
+// Implementations must be safe for concurrent use: one resolver is shared by
+// every goroutine evaluating against its corpus.
+type DocResolver interface {
+	// ResolveDoc returns the document node for uri.
+	ResolveDoc(uri string) (*Node, error)
+	// ResolveCollection returns the document nodes of the collection named
+	// name ("" is the default collection: every member document), in stable
+	// corpus order. The returned sequence must be in document order — corpus
+	// members carry ascending tree IDs — so fs:ddo over it is the identity.
+	ResolveCollection(name string) (Sequence, error)
+}
+
+// AssignTreeIDs reassigns the IDs of ts — in slice order — from a freshly
+// reserved contiguous block of the global tree-ID counter. A corpus built by
+// concurrent ingest workers calls this once after the last document lands:
+// member order then coincides with cross-document order (CompareOrder ranks
+// documents by ID), so merged query results are deterministic no matter how
+// the parallel ingest interleaved the original ID draws.
+//
+// The trees must not be visible to any concurrent reader yet; IDs are plain
+// fields.
+func AssignTreeIDs(ts []*Tree) {
+	if len(ts) == 0 {
+		return
+	}
+	base := nextTreeID.Add(int64(len(ts))) - int64(len(ts))
+	for i, t := range ts {
+		t.ID = int(base) + 1 + i
+	}
+}

@@ -93,6 +93,13 @@ type Document struct {
 	// rootSeq is the document node as a singleton sequence, allocated once:
 	// the uniform binding Run hands to every free variable.
 	rootSeq xdm.Sequence
+	// uri names the document for fn:doc resolution ("" when loaded from a
+	// reader or string without a name).
+	uri string
+	// docs, when the document is a corpus member, resolves fn:doc and
+	// fn:collection against the whole corpus; nil documents resolve against
+	// themselves (the degenerate one-document collection).
+	docs xdm.DocResolver
 }
 
 // LoadXML parses an XML document through the fused ingest path: one pass
@@ -143,6 +150,32 @@ func newDocumentIndexed(ix *xmlstore.Index) *Document {
 
 // Root returns the document node.
 func (d *Document) Root() *Node { return d.tree.Root }
+
+// URI returns the document's name for fn:doc resolution ("" when loaded
+// without one).
+func (d *Document) URI() string { return d.uri }
+
+// SetURI names the document for fn:doc resolution. Call before sharing the
+// document across goroutines.
+func (d *Document) SetURI(uri string) { d.uri = uri }
+
+// ResolveDoc implements xdm.DocResolver for a standalone document — the
+// degenerate one-document collection: only the document's own URI resolves.
+func (d *Document) ResolveDoc(uri string) (*xdm.Node, error) {
+	if d.uri != "" && uri == d.uri {
+		return d.tree.Root, nil
+	}
+	return nil, fmt.Errorf("doc(%q): no such document", uri)
+}
+
+// ResolveCollection implements xdm.DocResolver for a standalone document:
+// the default collection is the document itself.
+func (d *Document) ResolveCollection(name string) (xdm.Sequence, error) {
+	if name != "" {
+		return nil, fmt.Errorf("collection(%q): no such collection (only the default collection is defined)", name)
+	}
+	return d.rootSeq, nil
+}
 
 // NumNodes returns the number of nodes in the document (including the
 // document node and attributes).
@@ -309,10 +342,16 @@ func (q *Query) physicalPlan(alg Algorithm) (*physical.Plan, error) {
 // resolution happened at plan compile time, so the uniform document binding
 // is a single field store, not a map.
 func (q *Query) runtime(doc *Document, workers int) *physical.Runtime {
+	docs := xdm.DocResolver(doc)
+	if doc.docs != nil {
+		// A corpus member resolves fn:doc/fn:collection corpus-wide.
+		docs = doc.docs
+	}
 	return &physical.Runtime{
 		Catalog:  doc.catalog,
 		Preps:    q.preps,
 		Parallel: workers,
+		Docs:     docs,
 		Root:     doc.rootSeq,
 	}
 }
