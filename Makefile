@@ -47,10 +47,12 @@ bench-smoke:
 	-$(GO) run ./cmd/benchdiff BENCH_collection_quick.json /tmp/bench_collection_quick.json
 
 # Short differential fuzz of the ingest scanner against the encoding/xml
-# oracle (the committed seed corpus always runs as part of `make test`;
-# this also explores new inputs for a bounded time).
+# oracle, and of the snapshot reader against corrupted/truncated bytes (the
+# committed seed corpus always runs as part of `make test`; this also
+# explores new inputs for a bounded time).
 fuzz-smoke:
 	$(GO) test ./internal/xmlstore -run FuzzScanVsStd -fuzz FuzzScanVsStd -fuzztime 30s
+	$(GO) test ./internal/xmlstore -run FuzzSnapshot -fuzz FuzzSnapshot -fuzztime 30s
 
 # Compare two treebench JSON reports (table1 or serve):
 #   make bench-compare OLD=BENCH_table1.json NEW=/tmp/new.json

@@ -130,20 +130,22 @@ func diffCollection(old, new []xqtp.CollectionCell) {
 	for _, c := range old {
 		prev[key{c.Phase, c.Query, c.Docs, c.Workers}] = c
 	}
-	fmt.Printf("%-8s %-16s %-6s %-7s %24s %22s %20s\n",
+	fmt.Printf("%-14s %-16s %-6s %-7s %24s %22s %20s\n",
 		"phase", "query", "docs", "workers", "MB/s|qps old→new", "B/op old→new", "allocs old→new")
 	for _, c := range new {
 		o, ok := prev[key{c.Phase, c.Query, c.Docs, c.Workers}]
 		if !ok {
-			fmt.Printf("%-8s %-16s %-6d %-7d (new cell)\n", c.Phase, c.Query, c.Docs, c.Workers)
+			fmt.Printf("%-14s %-16s %-6d %-7d (new cell)\n", c.Phase, c.Query, c.Docs, c.Workers)
 			continue
 		}
-		// The throughput column is MB/s for ingest rows, QPS for query rows.
+		// The throughput column is MB/s for the ingest and snapshot-save/load
+		// rows (all normalized to the corpus's XML size, so they compare
+		// against each other), QPS for query rows.
 		oRate, nRate := o.MBPerSec, c.MBPerSec
 		if c.Phase == "query" {
 			oRate, nRate = o.QPS, c.QPS
 		}
-		fmt.Printf("%-8s %-16s %-6d %-7d %10.1f→%-10.1f %s %8d→%-8d %s %6d→%-6d %s\n",
+		fmt.Printf("%-14s %-16s %-6d %-7d %10.1f→%-10.1f %s %8d→%-8d %s %6d→%-6d %s\n",
 			c.Phase, c.Query, c.Docs, c.Workers,
 			oRate, nRate, pct(oRate, nRate),
 			o.BytesPerOp, c.BytesPerOp, pct(float64(o.BytesPerOp), float64(c.BytesPerOp)),

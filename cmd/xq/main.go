@@ -15,11 +15,20 @@
 //
 //	xq -query 'fn:collection()//person/name' a.xml b.xml c.xml
 //	xq -query '$d//item/name' -dir corpus/ -workers 8 -with-uri
+//
+// Snapshots: -save-snapshot serializes the loaded inputs (one document or a
+// whole corpus) in the columnar binary snapshot format; -snapshot reads one
+// back, skipping parsing and index building. -query may be omitted when
+// converting:
+//
+//	xq -dir corpus/ -save-snapshot corpus.snap
+//	xq -snapshot -query 'fn:collection()//person/name' corpus.snap
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -30,26 +39,23 @@ import (
 
 func main() {
 	var (
-		query     = flag.String("query", "", "XQuery expression (required)")
+		query     = flag.String("query", "", "XQuery expression (required unless -save-snapshot converts)")
 		file      = flag.String("file", "", "XML input file (default: stdin; positional arguments add more)")
 		dir       = flag.String("dir", "", "load every *.xml file of a directory (sorted) into the collection")
 		workers   = flag.Int("workers", runtime.NumCPU(), "ingest and query parallelism for collections")
 		withURI   = flag.Bool("with-uri", false, "prefix every result line with the URI of the document holding it")
 		algName   = flag.String("alg", "sc", "tree-pattern algorithm: nl, sc, twig, auto, stream")
-		snapshot  = flag.Bool("snapshot", false, "input is a binary snapshot (see xmlgen -format snapshot; single-document only)")
+		snapshot  = flag.Bool("snapshot", false, "input is a binary corpus snapshot (see -save-snapshot, xmlgen -format snapshot)")
+		saveSnap  = flag.String("save-snapshot", "", "write the loaded input as a binary corpus snapshot to this path")
 		serialize = flag.Bool("serialize", false, "serialize node results as XML")
 		noTP      = flag.Bool("no-tree-patterns", false, "disable tree-pattern detection (standard engine)")
 		explain   = flag.Bool("explain", false, "print the physical plan (with the per-pattern cost-model choice under -alg auto) before the results")
 	)
 	flag.Parse()
-	if *query == "" {
+	if *query == "" && *saveSnap == "" {
 		fmt.Fprintln(os.Stderr, "xq: -query is required")
 		flag.Usage()
 		os.Exit(2)
-	}
-	alg, err := xqtp.ParseAlgorithm(*algName)
-	if err != nil {
-		fatal(err)
 	}
 
 	paths, err := inputPaths(*file, *dir, flag.Args())
@@ -57,9 +63,46 @@ func main() {
 		fatal(err)
 	}
 	if *snapshot && len(paths) > 1 {
-		fatal(fmt.Errorf("-snapshot supports a single input"))
+		fatal(fmt.Errorf("-snapshot supports a single input (a snapshot already holds a whole corpus)"))
 	}
 
+	// Load the input: a corpus snapshot, a multi-file corpus, or one document.
+	// A one-member corpus (including single-document snapshots) runs through
+	// the document path so -explain sees the document context.
+	var (
+		corpus *xqtp.Corpus
+		doc    *xqtp.Document
+		uri    string
+	)
+	switch {
+	case *snapshot:
+		corpus, err = loadSnapshotInput(paths)
+	case len(paths) > 1:
+		corpus, err = xqtp.LoadCorpusFiles(paths, *workers)
+	default:
+		doc, uri, err = loadSingle(paths)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if corpus != nil && corpus.Len() == 1 {
+		doc = corpus.DocumentAt(0)
+		uri = corpus.URIs()[0]
+	}
+
+	if *saveSnap != "" {
+		if err := writeSnapshotFile(*saveSnap, corpus, doc); err != nil {
+			fatal(err)
+		}
+		if *query == "" {
+			return
+		}
+	}
+
+	alg, err := xqtp.ParseAlgorithm(*algName)
+	if err != nil {
+		fatal(err)
+	}
 	opts := xqtp.DefaultOptions
 	opts.TreePatterns = !*noTP
 	q, err := xqtp.PrepareCachedWithOptions(*query, opts)
@@ -81,11 +124,7 @@ func main() {
 		}
 	}
 
-	if len(paths) > 1 {
-		corpus, err := xqtp.LoadCorpusFiles(paths, *workers)
-		if err != nil {
-			fatal(err)
-		}
+	if doc == nil {
 		if *explain {
 			phys, err := q.ExplainPhysical(alg, nil)
 			if err != nil {
@@ -104,10 +143,6 @@ func main() {
 		return
 	}
 
-	doc, uri, err := loadSingle(paths, *snapshot)
-	if err != nil {
-		fatal(err)
-	}
 	if *explain {
 		phys, err := q.ExplainPhysical(alg, doc)
 		if err != nil {
@@ -146,14 +181,22 @@ func inputPaths(file, dir string, args []string) ([]string, error) {
 	return paths, nil
 }
 
-// loadSingle loads the one-document case: a named file or stdin.
-func loadSingle(paths []string, snapshot bool) (*xqtp.Document, string, error) {
-	load := xqtp.LoadXML
-	if snapshot {
-		load = xqtp.LoadSnapshot
-	}
+// loadSnapshotInput opens a corpus snapshot from the named file or stdin.
+func loadSnapshotInput(paths []string) (*xqtp.Corpus, error) {
 	if len(paths) == 0 {
-		doc, err := load(os.Stdin)
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, err
+		}
+		return xqtp.OpenCorpusSnapshot(data)
+	}
+	return xqtp.OpenCorpusFile(paths[0])
+}
+
+// loadSingle loads the one-document case: a named file or stdin.
+func loadSingle(paths []string) (*xqtp.Document, string, error) {
+	if len(paths) == 0 {
+		doc, err := xqtp.LoadXML(os.Stdin)
 		return doc, "(stdin)", err
 	}
 	f, err := os.Open(paths[0])
@@ -161,12 +204,30 @@ func loadSingle(paths []string, snapshot bool) (*xqtp.Document, string, error) {
 		return nil, "", err
 	}
 	defer f.Close()
-	doc, err := load(f)
+	doc, err := xqtp.LoadXML(f)
 	if err != nil {
 		return nil, "", err
 	}
 	doc.SetURI(paths[0])
 	return doc, paths[0], nil
+}
+
+// writeSnapshotFile saves the loaded input — corpus or single document — as
+// a snapshot at path.
+func writeSnapshotFile(path string, corpus *xqtp.Corpus, doc *xqtp.Document) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if corpus != nil {
+		err = corpus.SaveSnapshot(f)
+	} else {
+		err = doc.SaveSnapshot(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 func fatal(err error) {

@@ -2,6 +2,8 @@ package xqtp
 
 import (
 	"fmt"
+	"io"
+	"os"
 
 	"xqtp/internal/collection"
 	"xqtp/internal/physical"
@@ -54,6 +56,35 @@ func (c *Corpus) Extend(sources []CorpusSource, workers int) (*Corpus, error) {
 		return nil, err
 	}
 	return &Corpus{c: grown}, nil
+}
+
+// SaveSnapshot writes the corpus in the columnar binary snapshot format:
+// every member's region columns, symbol table and tag-stream index, plus
+// the corpus name table, serialized as they sit in memory. Reloading with
+// OpenCorpusSnapshot skips parsing, index building and name interning
+// entirely.
+func (c *Corpus) SaveSnapshot(w io.Writer) error {
+	return c.c.WriteSnapshot(w)
+}
+
+// OpenCorpusSnapshot loads a corpus written by SaveSnapshot. It takes
+// ownership of data: the loaded members' strings and columns alias the
+// buffer, so the caller must not modify it afterwards.
+func OpenCorpusSnapshot(data []byte) (*Corpus, error) {
+	c, err := collection.OpenSnapshot(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Corpus{c: c}, nil
+}
+
+// OpenCorpusFile loads a corpus snapshot from a file.
+func OpenCorpusFile(path string) (*Corpus, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return OpenCorpusSnapshot(data)
 }
 
 func internalSources(sources []CorpusSource) []collection.Source {

@@ -1,0 +1,178 @@
+package xqtp
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"xqtp/internal/xdm"
+)
+
+// equivItems is sameItems across trees: the loaded corpus holds structurally
+// identical but distinct trees, so nodes compare by preorder rank and owning
+// member (resolved through each corpus's own URI attribution) instead of by
+// pointer.
+func equivItems(a, b Sequence, uriA, uriB func(Item) (string, bool)) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("length %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		an, aIsNode := a[i].(*xdm.Node)
+		bn, bIsNode := b[i].(*xdm.Node)
+		if aIsNode != bIsNode {
+			return fmt.Errorf("item %d: node-ness differs", i)
+		}
+		if !aIsNode {
+			if a[i] != b[i] {
+				return fmt.Errorf("item %d: %s vs %s", i, ItemString(a[i]), ItemString(b[i]))
+			}
+			continue
+		}
+		if an.Pre != bn.Pre || an.Kind != bn.Kind || an.Name != bn.Name || an.Text != bn.Text {
+			return fmt.Errorf("item %d: %s vs %s", i, ItemString(a[i]), ItemString(b[i]))
+		}
+		ua, oka := uriA(a[i])
+		ub, okb := uriB(b[i])
+		if oka != okb || ua != ub {
+			return fmt.Errorf("item %d: member %q vs %q", i, ua, ub)
+		}
+	}
+	return nil
+}
+
+// A corpus loaded from a snapshot must be indistinguishable from the
+// freshly-ingested corpus it was saved from: same members, same name table,
+// and — the part that matters — identical query results for every pattern
+// algorithm, at one worker and at eight. This is the load-path analogue of
+// TestCorpusDifferential.
+func TestCorpusSnapshotQueryDifferential(t *testing.T) {
+	fresh, err := LoadCorpus(genCorpusSources(12, 7), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenCorpusSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != fresh.Len() {
+		t.Fatalf("loaded %d members, want %d", loaded.Len(), fresh.Len())
+	}
+	if !reflect.DeepEqual(loaded.URIs(), fresh.URIs()) {
+		t.Fatalf("URIs differ:\n  %v\n  %v", loaded.URIs(), fresh.URIs())
+	}
+	if loaded.NumNodes() != fresh.NumNodes() {
+		t.Fatalf("node count %d, want %d", loaded.NumNodes(), fresh.NumNodes())
+	}
+	algs := []Algorithm{Staircase, Twig, Auto, Streaming}
+	for _, pq := range corpusDiffQueries() {
+		q, err := Prepare(pq.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", pq.Name, err)
+		}
+		for _, alg := range algs {
+			want, err := fresh.RunParallel(q, alg, 1)
+			if err != nil {
+				t.Fatalf("%s/%v/fresh: %v", pq.Name, alg, err)
+			}
+			for _, workers := range []int{1, 8} {
+				got, err := loaded.RunParallel(q, alg, workers)
+				if err != nil {
+					t.Fatalf("%s/%v/workers=%d/loaded: %v", pq.Name, alg, workers, err)
+				}
+				if err := equivItems(want, got, fresh.URIOf, loaded.URIOf); err != nil {
+					t.Errorf("%s/%v/workers=%d: loaded corpus differs from fresh: %v",
+						pq.Name, alg, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// Single-document snapshots: save/load through the Document API preserves
+// query results and serialization.
+func TestDocumentSnapshotRoundTrip(t *testing.T) {
+	doc, err := LoadXMLString(`<a id="1"><b x="y"><c>hello</c></b><c>world</c><b><c/></b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := doc.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.XML() != doc.XML() {
+		t.Fatalf("serialization differs:\n  %s\n  %s", doc.XML(), doc2.XML())
+	}
+	if doc2.NumNodes() != doc.NumNodes() {
+		t.Fatalf("node count %d, want %d", doc2.NumNodes(), doc.NumNodes())
+	}
+	q, err := Prepare(`$input//b[c]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{NestedLoop, Staircase, Twig, Auto} {
+		want, err := q.Run(doc, alg)
+		if err != nil {
+			t.Fatalf("%v/fresh: %v", alg, err)
+		}
+		got, err := q.Run(doc2, alg)
+		if err != nil {
+			t.Fatalf("%v/loaded: %v", alg, err)
+		}
+		same := func(Item) (string, bool) { return "", true }
+		if err := equivItems(want, got, same, same); err != nil {
+			t.Errorf("%v: loaded document differs from fresh: %v", alg, err)
+		}
+	}
+}
+
+// Extending a snapshot-loaded corpus works like extending a fresh one (the
+// loaded trees participate in the global ID order).
+func TestCorpusSnapshotExtend(t *testing.T) {
+	fresh, err := LoadCorpus(genCorpusSources(4, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenCorpusSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := loaded.Extend([]CorpusSource{
+		{URI: "mem://extra.xml", Data: []byte(`<doc><t01><t02/></t01></doc>`)},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if grown.Len() != 5 {
+		t.Fatalf("grown corpus has %d members, want 5", grown.Len())
+	}
+	q, err := Prepare(`$input//t01[t02]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := grown.RunParallel(q, Auto, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, it := range res {
+		if uri, ok := grown.URIOf(it); ok && uri == "mem://extra.xml" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("query did not reach the member added after snapshot load")
+	}
+}

@@ -54,7 +54,7 @@ func DefaultExperimentOptions() ExperimentOptions {
 		Fig6People:      2000,
 		DeepNodes:       50_000,
 		DeepDepth:       15,
-		CollectionSizes: []int{10, 100, 1000},
+		CollectionSizes: []int{10, 100, 1000, 3000},
 		Repeats:         3,
 	}
 }

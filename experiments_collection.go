@@ -1,6 +1,7 @@
 package xqtp
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -17,20 +18,24 @@ import (
 // each at one worker and at one worker per CPU.
 
 // CollectionCell is one measurement of the collection experiment: an ingest
-// row (Query empty, MBPerSec set) or a query row (QPS set).
+// row (Query empty, MBPerSec set), a query row (QPS set), or a snapshot row
+// (phase "snapshot-save" / "snapshot-load", MBPerSec normalized to the XML
+// size of the corpus so it compares directly against the ingest rows).
 type CollectionCell struct {
-	Phase       string  `json:"phase"` // "ingest" or "query"
-	Docs        int     `json:"docs"`
-	Workers     int     `json:"workers"`
-	Query       string  `json:"query,omitempty"`
-	CorpusBytes int     `json:"corpus_bytes"`
-	Nodes       int     `json:"nodes,omitempty"`
-	Items       int     `json:"items,omitempty"` // result size of the query rows
-	NsPerOp     float64 `json:"ns_per_op"`
-	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
-	QPS         float64 `json:"qps,omitempty"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
+	Phase       string `json:"phase"` // "ingest", "query", "snapshot-save", "snapshot-load"
+	Docs        int    `json:"docs"`
+	Workers     int    `json:"workers"`
+	Query       string `json:"query,omitempty"`
+	CorpusBytes int    `json:"corpus_bytes"`
+	// SnapshotBytes is the serialized snapshot size of the snapshot rows.
+	SnapshotBytes int     `json:"snapshot_bytes,omitempty"`
+	Nodes         int     `json:"nodes,omitempty"`
+	Items         int     `json:"items,omitempty"` // result size of the query rows
+	NsPerOp       float64 `json:"ns_per_op"`
+	MBPerSec      float64 `json:"mb_per_sec,omitempty"`
+	QPS           float64 `json:"qps,omitempty"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
 }
 
 // CollectionReport is the machine-readable output of RunCollection. The
@@ -135,6 +140,76 @@ func RunCollection(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 			})
 			_ = corpus
 		}
+	}
+
+	// Snapshot phases: serialize the loaded corpus and load it back. MB/s is
+	// normalized to the corpus's XML size, so the load rows state directly
+	// how much faster opening a snapshot is than re-ingesting the XML.
+	fmt.Fprintf(w, "\n%-16s %-8s %10s %12s %16s %14s %12s\n",
+		"phase", "docs", "MB/s", "ms/op", "snapshot_bytes", "B/op", "allocs/op")
+	for _, nDocs := range opts.CollectionSizes {
+		sources := collectionSources(nDocs, opts.Seed)
+		totalBytes := 0
+		for _, s := range sources {
+			totalBytes += len(s.Data)
+		}
+		corpus, err := LoadCorpus(sources, 0)
+		if err != nil {
+			return err
+		}
+		var blob []byte
+		saveOp := func() (int, error) {
+			var buf bytes.Buffer
+			if err := corpus.SaveSnapshot(&buf); err != nil {
+				return 0, err
+			}
+			blob = buf.Bytes()
+			return len(blob), nil
+		}
+		d, allocs, bytesPerOp, snapBytes, err := measureIngest(saveOp, opts.Repeats)
+		if err != nil {
+			return fmt.Errorf("snapshot-save %d docs: %w", nDocs, err)
+		}
+		mbps := float64(totalBytes) / d.Seconds() / 1e6
+		fmt.Fprintf(w, "%-16s %-8d %10.1f %12.2f %16d %14d %12d\n",
+			"snapshot-save", nDocs, mbps, float64(d.Nanoseconds())/1e6, snapBytes, bytesPerOp, allocs)
+		report.Cells = append(report.Cells, CollectionCell{
+			Phase:         "snapshot-save",
+			Docs:          nDocs,
+			Workers:       1,
+			CorpusBytes:   totalBytes,
+			SnapshotBytes: snapBytes,
+			NsPerOp:       float64(d.Nanoseconds()),
+			MBPerSec:      mbps,
+			AllocsPerOp:   allocs,
+			BytesPerOp:    bytesPerOp,
+		})
+		loadOp := func() (int, error) {
+			c, err := OpenCorpusSnapshot(blob)
+			if err != nil {
+				return 0, err
+			}
+			return c.NumNodes(), nil
+		}
+		d, allocs, bytesPerOp, nodes, err := measureIngest(loadOp, opts.Repeats)
+		if err != nil {
+			return fmt.Errorf("snapshot-load %d docs: %w", nDocs, err)
+		}
+		mbps = float64(totalBytes) / d.Seconds() / 1e6
+		fmt.Fprintf(w, "%-16s %-8d %10.1f %12.2f %16d %14d %12d\n",
+			"snapshot-load", nDocs, mbps, float64(d.Nanoseconds())/1e6, len(blob), bytesPerOp, allocs)
+		report.Cells = append(report.Cells, CollectionCell{
+			Phase:         "snapshot-load",
+			Docs:          nDocs,
+			Workers:       1,
+			CorpusBytes:   totalBytes,
+			SnapshotBytes: len(blob),
+			Nodes:         nodes,
+			NsPerOp:       float64(d.Nanoseconds()),
+			MBPerSec:      mbps,
+			AllocsPerOp:   allocs,
+			BytesPerOp:    bytesPerOp,
+		})
 	}
 
 	fmt.Fprintf(w, "\n%-16s %-8s %-8s %10s %12s %8s %14s %12s\n",

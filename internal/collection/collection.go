@@ -17,6 +17,7 @@ package collection
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
@@ -32,8 +33,9 @@ type Doc struct {
 // Tree returns the member's document tree.
 func (d *Doc) Tree() *xdm.Tree { return d.Index.Tree }
 
-// Root returns the member's document node.
-func (d *Doc) Root() *xdm.Node { return d.Index.Tree.Root }
+// Root returns the member's document node, materializing a snapshot-loaded
+// member's pointer data model on first use.
+func (d *Doc) Root() *xdm.Node { return d.Index.Tree.RootNode() }
 
 // Corpus is an immutable snapshot of a document collection. Member order is
 // the corpus order: ascending tree IDs, which makes it coincide with
@@ -49,8 +51,12 @@ type Corpus struct {
 	catalog *xmlstore.Catalog
 	names   *NameTable
 	// roots is the memoized fn:collection() result: every member's document
-	// node in corpus order.
-	roots xdm.Sequence
+	// node in corpus order. Built on first ResolveCollection rather than at
+	// assembly, because gathering the document nodes forces materialization
+	// of every member — which would make opening a corpus snapshot pay for
+	// all the Node structs the open was designed to defer.
+	roots     xdm.Sequence
+	rootsOnce sync.Once
 }
 
 // New builds a corpus from already-ingested members. Members are sorted by
@@ -66,15 +72,21 @@ func New(docs []*Doc) (*Corpus, error) {
 }
 
 // assemble builds the corpus structures over a member slice already in
-// ascending tree-ID order.
+// ascending tree-ID order, deriving the name table from scratch.
 func assemble(members []*Doc) (*Corpus, error) {
+	return assembleWith(members, nil)
+}
+
+// assembleWith is assemble with an already-built name table (Extend grows
+// the previous corpus's table incrementally; the snapshot loader decodes a
+// stored one). names nil falls back to a full build.
+func assembleWith(members []*Doc, names *NameTable) (*Corpus, error) {
 	c := &Corpus{
 		docs:    members,
 		byURI:   make(map[string]int, len(members)),
 		byTree:  make(map[*xdm.Tree]int, len(members)),
 		catalog: xmlstore.NewCatalog(),
 	}
-	roots := make(xdm.Sequence, len(members))
 	for i, d := range members {
 		if d.Index == nil {
 			return nil, fmt.Errorf("collection: member %q has no index", d.URI)
@@ -85,10 +97,11 @@ func assemble(members []*Doc) (*Corpus, error) {
 		c.byURI[d.URI] = i
 		c.byTree[d.Tree()] = i
 		c.catalog.Register(d.Index)
-		roots[i] = d.Root()
 	}
-	c.roots = roots
-	c.names = buildNameTable(members)
+	if names == nil {
+		names = buildNameTable(members)
+	}
+	c.names = names
 	return c, nil
 }
 
@@ -143,6 +156,13 @@ func (c *Corpus) ResolveCollection(name string) (xdm.Sequence, error) {
 	if name != "" {
 		return nil, fmt.Errorf("collection(%q): no such collection (only the default collection is defined)", name)
 	}
+	c.rootsOnce.Do(func() {
+		roots := make(xdm.Sequence, len(c.docs))
+		for i, d := range c.docs {
+			roots[i] = d.Root()
+		}
+		c.roots = roots
+	})
 	return c.roots, nil
 }
 

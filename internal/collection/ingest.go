@@ -45,8 +45,12 @@ func Ingest(sources []Source, workers int) (*Corpus, error) {
 // existing members followed by the new ones. The receiver is untouched — a
 // corpus is an immutable snapshot, so queries running against it concurrently
 // with Extend never observe partial growth. The new members' tree IDs come
-// from a fresh block of the global counter, so they sort after every existing
-// member and the combined slice keeps the corpus-order invariant.
+// from a fresh block of the global counter (AssignTreeIDs walks only the new
+// docs), so they sort after every existing member and the combined slice
+// keeps the corpus-order invariant. The name table likewise grows
+// incrementally from the receiver's, so the cost of an Extend is linear in
+// the documents added, not in the corpus size — repeated Extends are O(n),
+// not O(n²).
 func (c *Corpus) Extend(sources []Source, workers int) (*Corpus, error) {
 	docs, err := ingestDocs(sources, workers)
 	if err != nil {
@@ -56,7 +60,7 @@ func (c *Corpus) Extend(sources []Source, workers int) (*Corpus, error) {
 	members := make([]*Doc, 0, len(c.docs)+len(docs))
 	members = append(members, c.docs...)
 	members = append(members, docs...)
-	return assemble(members)
+	return assembleWith(members, c.names.extend(docs))
 }
 
 func trees(docs []*Doc) []*xdm.Tree {

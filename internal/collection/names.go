@@ -42,6 +42,41 @@ func buildNameTable(members []*Doc) *NameTable {
 	return nt
 }
 
+// extend builds the table for a corpus of nt's members followed by added.
+// Existing columns are copied and padded with NoSym; only the added members'
+// symbol tables are walked. This is what keeps Corpus.Extend linear in the
+// growth instead of rebuilding the table over every member each time.
+func (nt *NameTable) extend(added []*Doc) *NameTable {
+	out := &NameTable{
+		byName: make(map[string][]xdm.Sym, len(nt.byName)),
+		ndocs:  nt.ndocs + len(added),
+	}
+	for name, col := range nt.byName {
+		grown := make([]xdm.Sym, out.ndocs)
+		copy(grown, col)
+		for j := nt.ndocs; j < out.ndocs; j++ {
+			grown[j] = xdm.NoSym
+		}
+		out.byName[name] = grown
+	}
+	for i, d := range added {
+		syms := d.Tree().Syms
+		for s := 0; s < syms.Len(); s++ {
+			name := syms.Name(xdm.Sym(s))
+			col, ok := out.byName[name]
+			if !ok {
+				col = make([]xdm.Sym, out.ndocs)
+				for j := range col {
+					col[j] = xdm.NoSym
+				}
+				out.byName[name] = col
+			}
+			col[nt.ndocs+i] = xdm.Sym(s)
+		}
+	}
+	return out
+}
+
 // Sym resolves a name to document doc's symbol ID (xdm.NoSym when the
 // document never interned the name).
 func (nt *NameTable) Sym(name string, doc int) xdm.Sym {

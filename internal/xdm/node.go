@@ -3,6 +3,7 @@ package xdm
 import (
 	"fmt"
 	"strings"
+	"sync"
 	"sync/atomic"
 )
 
@@ -56,12 +57,66 @@ type Node struct {
 
 // Tree is a document: the document node plus the pre-order array of all its
 // nodes (the base table that the index streams are views over).
+//
+// Trees built by the parser or Finalize carry Root and Nodes from the start.
+// Snapshot-loaded trees (TreeFromColumns) defer the pointer data model: Root
+// and Nodes stay nil until a choke point — RootNode, Materialize, DocElem —
+// forces materialization, so opening a corpus costs column slicing only and
+// untouched members never pay for their Node structs. Code outside this
+// package never holds a *Node of an unmaterialized tree (nodes are only
+// reachable through the forcing accessors), so direct navigation through
+// Node pointers needs no checks.
 type Tree struct {
 	ID    int      // document identifier for cross-document ordering
-	Root  *Node    // the document node
-	Nodes []*Node  // all nodes, indexed by Pre
+	Root  *Node    // the document node (nil until forced on lazy trees)
+	Nodes []*Node  // all nodes, indexed by Pre (nil until forced on lazy trees)
 	Syms  *Symbols // interned element/attribute names (immutable after Finalize)
 	Cols  *Cols    // structure-of-arrays region encoding, indexed by Pre
+
+	// lazy holds the deferred-materialization state of a snapshot-loaded
+	// tree; nil on trees built eagerly.
+	lazy *lazyNodes
+}
+
+// lazyNodes is the pending pointer-model build of a snapshot-loaded tree:
+// the text values (the one piece of node state not in the columns) and the
+// once gate that makes concurrent forcing safe.
+type lazyNodes struct {
+	once  sync.Once
+	texts []string
+}
+
+// force materializes the pointer data model of a lazy tree; a no-op on
+// eager trees and after the first call. Safe for concurrent use: Once.Do
+// publishes Root/Nodes to every caller that passes a choke point.
+func (t *Tree) force() {
+	if l := t.lazy; l != nil {
+		l.once.Do(func() { t.materialize(l.texts) })
+	}
+}
+
+// RootNode returns the document node, materializing a snapshot-loaded
+// tree's pointer data model on first use. Prefer this over reading Root
+// directly when the tree may come from a snapshot.
+func (t *Tree) RootNode() *Node {
+	t.force()
+	return t.Root
+}
+
+// TextValues returns the values of the text-bearing nodes (text and
+// attribute nodes) in preorder. On lazy trees this reads the stored values
+// without forcing materialization — the snapshot writer's path.
+func (t *Tree) TextValues() []string {
+	if l := t.lazy; l != nil {
+		return l.texts
+	}
+	out := make([]string, 0, len(t.Nodes)/4)
+	for _, n := range t.Nodes {
+		if n.Kind == TextNode || n.Kind == AttributeNode {
+			out = append(out, n.Text)
+		}
+	}
+	return out
 }
 
 // Cols is the structure-of-arrays mirror of the tree's region encoding: one
@@ -204,11 +259,13 @@ func (t *Tree) buildCols() {
 }
 
 // Materialize resolves a slice of preorder ranks to the nodes themselves —
-// the one place integer results cross back into the pointer data model.
+// the one place integer results cross back into the pointer data model
+// (forcing a lazy tree on first use).
 func (t *Tree) Materialize(ranks []int32) []*Node {
 	if len(ranks) == 0 {
 		return nil
 	}
+	t.force()
 	out := make([]*Node, len(ranks))
 	for i, r := range ranks {
 		out[i] = t.Nodes[r]
@@ -264,12 +321,18 @@ func (n *Node) String() string {
 }
 
 // CountNodes returns the number of nodes in the tree (including the document
-// node and attribute nodes).
-func (t *Tree) CountNodes() int { return len(t.Nodes) }
+// node and attribute nodes). Answered from the columns when present, so it
+// never forces a lazy tree.
+func (t *Tree) CountNodes() int {
+	if t.Cols != nil {
+		return len(t.Cols.Kind)
+	}
+	return len(t.Nodes)
+}
 
 // DocElem returns the single element child of the document node, or nil.
 func (t *Tree) DocElem() *Node {
-	for _, c := range t.Root.Children {
+	for _, c := range t.RootNode().Children {
 		if c.Kind == ElementNode {
 			return c
 		}

@@ -1,0 +1,201 @@
+package xdm
+
+import "fmt"
+
+// TreeFromColumns accepts an already-complete column set as a tree — the
+// core of the snapshot load path. No region encoding is recomputed;
+// Post/Size/Level/Parent come straight from the columns, names resolve
+// through syms, and texts supplies the string values of the text-bearing
+// nodes (text and attribute nodes, in preorder). The cols, syms and texts
+// arguments are retained by the returned tree.
+//
+// The columns are validated structurally here — parent ranks behind the
+// child, kinds that can nest, symbol and region bounds — so a corrupted
+// snapshot turns into an error at load time instead of an out-of-range
+// panic inside a join kernel. The pointer data model (the Node structs with
+// their Parent/Children/Attrs links, the inverse of what the TreeBuilder
+// emits) is NOT built here: the returned tree is lazy, and materializes its
+// nodes on the first forcing access (Tree.RootNode, Tree.Materialize).
+// Opening a corpus snapshot therefore costs validation and slice headers
+// only; members a query never touches never allocate a Node. The tree gets
+// a fresh ID from the global counter; corpus loaders reassign IDs in member
+// order afterwards (AssignTreeIDs), exactly as parallel ingest does.
+func TreeFromColumns(cols *Cols, syms *Symbols, texts []string) (*Tree, error) {
+	n := len(cols.Kind)
+	if len(cols.Post) != n || len(cols.Size) != n || len(cols.Level) != n ||
+		len(cols.Parent) != n || len(cols.Sym) != n {
+		return nil, fmt.Errorf("xdm: column lengths disagree")
+	}
+	if n < 2 {
+		return nil, fmt.Errorf("xdm: tree without a document root")
+	}
+	if Kind(cols.Kind[0]) != DocumentNode || cols.Parent[0] != -1 ||
+		cols.Level[0] != 0 || Sym(cols.Sym[0]) != NoSym {
+		return nil, fmt.Errorf("xdm: rank 0 is not a document node")
+	}
+	if int(cols.Size[0]) != n-1 {
+		return nil, fmt.Errorf("xdm: document region does not span the tree")
+	}
+	nsyms := int32(syms.Len())
+
+	// Validate every node against its parent, counting the fan-out so the
+	// root-element and text-count invariants can be checked below. (The
+	// counts are recomputed at materialization time; this pass is about
+	// rejecting corrupted columns while errors can still be returned.)
+	childCount := make([]int32, n)
+	attrCount := make([]int32, n)
+	nTexts := 0
+	for i := 1; i < n; i++ {
+		p := cols.Parent[i]
+		if p < 0 || int(p) >= i {
+			return nil, fmt.Errorf("xdm: node %d has parent rank %d (not an earlier node)", i, p)
+		}
+		if cols.Level[i] != cols.Level[p]+1 {
+			return nil, fmt.Errorf("xdm: node %d level %d under parent level %d", i, cols.Level[i], cols.Level[p])
+		}
+		if cols.Size[i] < 0 || int(cols.Size[i]) > n-1-i {
+			return nil, fmt.Errorf("xdm: node %d region size %d out of range", i, cols.Size[i])
+		}
+		if int32(i)+cols.Size[i] > p+cols.Size[p] {
+			return nil, fmt.Errorf("xdm: node %d region escapes its parent's", i)
+		}
+		if cols.Post[i] < 0 || int(cols.Post[i]) >= n {
+			return nil, fmt.Errorf("xdm: node %d postorder rank %d out of range", i, cols.Post[i])
+		}
+		pk := Kind(cols.Kind[p])
+		switch k := Kind(cols.Kind[i]); k {
+		case ElementNode:
+			if pk != ElementNode && pk != DocumentNode {
+				return nil, fmt.Errorf("xdm: element %d under %s parent", i, pk)
+			}
+			if s := cols.Sym[i]; s < 0 || s >= nsyms {
+				return nil, fmt.Errorf("xdm: node %d symbol %d out of range", i, s)
+			}
+			childCount[p]++
+		case AttributeNode:
+			if pk != ElementNode {
+				return nil, fmt.Errorf("xdm: attribute %d under %s parent", i, pk)
+			}
+			if s := cols.Sym[i]; s < 0 || s >= nsyms {
+				return nil, fmt.Errorf("xdm: node %d symbol %d out of range", i, s)
+			}
+			if cols.Size[i] != 0 {
+				return nil, fmt.Errorf("xdm: attribute %d with non-empty region", i)
+			}
+			attrCount[p]++
+			nTexts++
+		case TextNode:
+			if pk != ElementNode && pk != DocumentNode {
+				return nil, fmt.Errorf("xdm: text %d under %s parent", i, pk)
+			}
+			if Sym(cols.Sym[i]) != NoSym {
+				return nil, fmt.Errorf("xdm: text node %d carries a symbol", i)
+			}
+			if cols.Size[i] != 0 {
+				return nil, fmt.Errorf("xdm: text node %d with non-empty region", i)
+			}
+			childCount[p]++
+			nTexts++
+		case DocumentNode:
+			return nil, fmt.Errorf("xdm: nested document node at rank %d", i)
+		default:
+			return nil, fmt.Errorf("xdm: invalid node kind %d at rank %d", cols.Kind[i], i)
+		}
+	}
+	if nTexts != len(texts) {
+		return nil, fmt.Errorf("xdm: %d text values for %d text-bearing nodes", len(texts), nTexts)
+	}
+	if childCount[0] != 1 || attrCount[0] != 0 {
+		return nil, fmt.Errorf("xdm: document node must hold exactly one root element")
+	}
+	if Kind(cols.Kind[1]) != ElementNode {
+		return nil, fmt.Errorf("xdm: root of the document is not an element")
+	}
+
+	return &Tree{
+		ID:   int(nextTreeID.Add(1)),
+		Syms: syms,
+		Cols: cols,
+		lazy: &lazyNodes{texts: texts},
+	}, nil
+}
+
+// materialize builds the pointer data model over the validated columns of a
+// lazy tree: the nodes from one slab and the Children/Attrs lists from one
+// pointer arena (the exact counts are known, so this is two allocations
+// plus the headers). Each parent's arena region holds its attributes first,
+// then its children; appends below fill the capacity-bounded subslices in
+// preorder, which is attribute/child order. Called exactly once, under the
+// lazy once gate (Tree.force).
+func (t *Tree) materialize(texts []string) {
+	cols := t.Cols
+	syms := t.Syms
+	n := len(cols.Kind)
+	childCount := make([]int32, n)
+	attrCount := make([]int32, n)
+	for i := 1; i < n; i++ {
+		if Kind(cols.Kind[i]) == AttributeNode {
+			attrCount[cols.Parent[i]]++
+		} else {
+			childCount[cols.Parent[i]]++
+		}
+	}
+	slab := make([]Node, n)
+	nodes := make([]*Node, n)
+	ptrs := make([]*Node, n-1) // every node except the document is someone's child or attr
+	attrOff := make([]int32, n)
+	childOff := make([]int32, n)
+	off := int32(0)
+	for i := 0; i < n; i++ {
+		attrOff[i] = off
+		off += attrCount[i]
+		childOff[i] = off
+		off += childCount[i]
+	}
+	ti := 0
+	names := syms.Names()
+	for i := 0; i < n; i++ {
+		nd := &slab[i]
+		nodes[i] = nd
+		k := Kind(cols.Kind[i])
+		nd.Kind = k
+		nd.Pre = i
+		nd.Post = int(cols.Post[i])
+		nd.Size = int(cols.Size[i])
+		nd.Level = int(cols.Level[i])
+		nd.Sym = Sym(cols.Sym[i])
+		nd.Doc = t
+		switch k {
+		case ElementNode:
+			nd.Name = names[nd.Sym]
+		case AttributeNode:
+			nd.Name = names[nd.Sym]
+			nd.Text = texts[ti]
+			ti++
+		case TextNode:
+			nd.Text = texts[ti]
+			ti++
+		}
+		if i == 0 {
+			continue
+		}
+		p := cols.Parent[i]
+		parent := nodes[p]
+		if k == AttributeNode {
+			if parent.Attrs == nil {
+				a := attrOff[p]
+				parent.Attrs = ptrs[a : a : a+attrCount[p]]
+			}
+			parent.Attrs = append(parent.Attrs, nd)
+		} else {
+			if parent.Children == nil {
+				a := childOff[p]
+				parent.Children = ptrs[a : a : a+childCount[p]]
+			}
+			parent.Children = append(parent.Children, nd)
+		}
+		nd.Parent = parent
+	}
+	t.Root = nodes[0]
+	t.Nodes = nodes
+}

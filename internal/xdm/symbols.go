@@ -1,5 +1,7 @@
 package xdm
 
+import "fmt"
+
 // Sym is an interned element/attribute name: a small integer assigned per
 // tree at Finalize time. Symbol IDs index the per-tag stream tables of the
 // store directly, so the join loops never hash name strings — the same
@@ -22,6 +24,25 @@ type Symbols struct {
 func newSymbols() *Symbols {
 	return &Symbols{byName: make(map[string]Sym)}
 }
+
+// NewSymbols builds a symbol table over an already-interned name list —
+// the snapshot load path, where the dense ID assignment is part of the
+// stored format. The slice is retained; duplicate names are rejected (they
+// would break the name→ID bijection).
+func NewSymbols(names []string) (*Symbols, error) {
+	st := &Symbols{byName: make(map[string]Sym, len(names)), names: names}
+	for i, n := range names {
+		if _, dup := st.byName[n]; dup {
+			return nil, fmt.Errorf("xdm: duplicate symbol name %q", n)
+		}
+		st.byName[n] = Sym(i)
+	}
+	return st, nil
+}
+
+// Names returns the interned names indexed by symbol ID. The slice is shared
+// and must not be modified.
+func (st *Symbols) Names() []string { return st.names }
 
 // intern returns the ID for name, assigning the next free ID on first use.
 func (st *Symbols) intern(name string) Sym {

@@ -1,200 +1,569 @@
 package xmlstore
 
+// Snapshot format v2: a columnar corpus serialization — the persistence
+// substrate that makes restarting a server O(open) instead of O(re-parse).
+//
+// The format dumps exactly what the in-memory store holds: the per-member
+// structure-of-arrays region columns (Post/Size/Level/Parent/Kind/Sym), the
+// per-member symbol tables and text blobs, the per-symbol element/attribute
+// rank streams plus the merged streams, and the corpus-level name table and
+// member URIs. Loading therefore rebuilds no region encoding and re-interns
+// no name: the fixed-width little-endian arrays are sliced straight out of
+// the snapshot buffer (zero-copy on little-endian hosts, a decode-copy
+// fallback elsewhere), and the pointer data model — the Node structs — is
+// not built at all until something forces it: xdm.TreeFromColumns validates
+// the columns and returns a lazy tree whose nodes materialize on first
+// access (Tree.RootNode), so members a query never touches never allocate a
+// Node.
+//
+// Layout (all integers little-endian; every array starts 8-byte aligned,
+// which is what admits a future mmap-backed loader — the u32/int32 arrays
+// can be viewed in place at any page boundary):
+//
+//	header:  magic "XQTS", u8 version=2, pad3, u32 nMembers, u32 nNames
+//	uris:    string table (nMembers entries)
+//	names:   string table (nNames entries) — corpus name table
+//	nameSyms: int32[nNames*nMembers], row-major by name
+//	members: nMembers member sections
+//
+//	member:  u32 nNodes, u32 nSyms, u32 nTexts, u32 reserved
+//	         symbols: string table (nSyms)
+//	         Post/Size/Level/Parent int32[nNodes] each, Sym int32[nNodes],
+//	         Kind u8[nNodes]
+//	         texts: string table (nTexts) — text/attribute values in preorder
+//	         elemOff u32[nSyms+1], elemData int32[elemOff[nSyms]]
+//	         attrOff u32[nSyms+1], attrData int32[attrOff[nSyms]]
+//	         u32 nAllElems, nAllText, nAllNodes, nAllAttrs, then the four
+//	         merged int32 streams
+//
+//	string table (count): u32 offsets[count+1] (cumulative, offsets[0]=0),
+//	         then the blob bytes; strings alias the blob on load
+//
+// The v1 per-node varint format is gone; its writers and readers migrated
+// to this encoder (a single document is a one-member corpus with an empty
+// corpus name table).
+
 import (
 	"bufio"
 	"encoding/binary"
 	"fmt"
 	"io"
+	"unsafe"
 
 	"xqtp/internal/xdm"
 )
 
-// Snapshot format: a compact binary serialization of a parsed document —
-// the storage substrate for tools that reload the same document repeatedly
-// (region encodings are rebuilt deterministically on load).
-//
-//	magic "XQTS", version u8
-//	name table: uvarint count, then uvarint-length-prefixed strings
-//	node count (uvarint), then per node in preorder:
-//	  kind u8, name index (uvarint, elements/attributes),
-//	  text (uvarint length + bytes, texts/attributes),
-//	  parent preorder rank (uvarint, offset by one; 0 = none)
 const (
 	snapshotMagic   = "XQTS"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
-// WriteSnapshot serializes a document.
-func WriteSnapshot(w io.Writer, t *xdm.Tree) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.WriteString(snapshotMagic); err != nil {
-		return err
+// hostLittleEndian reports whether int32 slices can alias snapshot bytes
+// directly. On big-endian hosts the reader falls back to a decode copy.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// CorpusSnapshot is the in-memory image of a v2 snapshot: the member URIs
+// and indexes, plus the corpus name table in flat serializable form
+// (Names[i]'s symbol in member m sits at NameSyms[i*len(URIs)+m]).
+// Single-document snapshots are one-member corpora with empty Names.
+type CorpusSnapshot struct {
+	URIs     []string
+	Indexes  []*Index
+	Names    []string
+	NameSyms []xdm.Sym
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+
+type snapWriter struct {
+	w   *bufio.Writer
+	off int64
+	err error
+}
+
+func (w *snapWriter) bytes(b []byte) {
+	if w.err != nil {
+		return
 	}
-	if err := bw.WriteByte(snapshotVersion); err != nil {
-		return err
+	_, w.err = w.w.Write(b)
+	w.off += int64(len(b))
+}
+
+func (w *snapWriter) u32(v uint32) {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	w.bytes(buf[:])
+}
+
+// i32s writes an int32 array. On little-endian hosts the slice's bytes go
+// out as-is; elsewhere each element is encoded.
+func (w *snapWriter) i32s(a []int32) {
+	if len(a) == 0 {
+		return
 	}
-	// Name table.
-	names := []string{}
-	nameID := map[string]int{}
-	for _, n := range t.Nodes {
-		if n.Kind == xdm.ElementNode || n.Kind == xdm.AttributeNode {
-			if _, ok := nameID[n.Name]; !ok {
-				nameID[n.Name] = len(names)
-				names = append(names, n.Name)
-			}
-		}
+	if hostLittleEndian {
+		w.bytes(unsafe.Slice((*byte)(unsafe.Pointer(&a[0])), len(a)*4))
+		return
 	}
-	writeUvarint(bw, uint64(len(names)))
-	for _, s := range names {
-		writeString(bw, s)
+	for _, v := range a {
+		w.u32(uint32(v))
 	}
-	writeUvarint(bw, uint64(len(t.Nodes)))
-	for _, n := range t.Nodes {
-		if err := bw.WriteByte(byte(n.Kind)); err != nil {
+}
+
+var snapPad [8]byte
+
+// align8 pads the stream to the next 8-byte boundary.
+func (w *snapWriter) align8() {
+	if rem := int(w.off & 7); rem != 0 {
+		w.bytes(snapPad[:8-rem])
+	}
+}
+
+// stringTable writes count strings as cumulative offsets plus one blob.
+func (w *snapWriter) stringTable(ss []string) {
+	off := uint32(0)
+	w.u32(0)
+	for _, s := range ss {
+		off += uint32(len(s))
+		w.u32(off)
+	}
+	w.align8()
+	for _, s := range ss {
+		w.bytes(stringBytes(s))
+	}
+	w.align8()
+}
+
+// WriteCorpus serializes a corpus snapshot.
+func WriteCorpus(w io.Writer, s *CorpusSnapshot) error {
+	if len(s.URIs) != len(s.Indexes) {
+		return fmt.Errorf("xmlstore: %d URIs for %d members", len(s.URIs), len(s.Indexes))
+	}
+	if len(s.NameSyms) != len(s.Names)*len(s.URIs) {
+		return fmt.Errorf("xmlstore: name table has %d cells, want %d", len(s.NameSyms), len(s.Names)*len(s.URIs))
+	}
+	sw := &snapWriter{w: bufio.NewWriter(w)}
+	sw.bytes([]byte(snapshotMagic))
+	sw.bytes([]byte{snapshotVersion, 0, 0, 0})
+	sw.u32(uint32(len(s.URIs)))
+	sw.u32(uint32(len(s.Names)))
+	sw.stringTable(s.URIs)
+	sw.stringTable(s.Names)
+	if len(s.NameSyms) > 0 {
+		sw.i32s(unsafe.Slice((*int32)(unsafe.Pointer(&s.NameSyms[0])), len(s.NameSyms)))
+	}
+	sw.align8()
+	for _, ix := range s.Indexes {
+		writeMember(sw, ix)
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+func writeMember(w *snapWriter, ix *Index) {
+	t := ix.Tree
+	cols := t.Cols
+	n := len(cols.Kind)
+	// The text-bearing values in preorder — the same order the loader hands
+	// them back to xdm.TreeFromColumns. TextValues reads a loaded tree's
+	// stored values directly, so re-saving a snapshot-loaded corpus never
+	// forces node materialization.
+	texts := t.TextValues()
+	syms := t.Syms.Names()
+	w.u32(uint32(n))
+	w.u32(uint32(len(syms)))
+	w.u32(uint32(len(texts)))
+	w.u32(0)
+	w.stringTable(syms)
+	w.i32s(cols.Post)
+	w.align8()
+	w.i32s(cols.Size)
+	w.align8()
+	w.i32s(cols.Level)
+	w.align8()
+	w.i32s(cols.Parent)
+	w.align8()
+	w.i32s(cols.Sym)
+	w.align8()
+	w.bytes(cols.Kind)
+	w.align8()
+	w.stringTable(texts)
+	writeStreams(w, ix.elemBySym)
+	writeStreams(w, ix.attrBySym)
+	w.u32(uint32(len(ix.allElems)))
+	w.u32(uint32(len(ix.allText)))
+	w.u32(uint32(len(ix.allNodes)))
+	w.u32(uint32(len(ix.allAttrs)))
+	for _, stream := range [][]int32{ix.allElems, ix.allText, ix.allNodes, ix.allAttrs} {
+		w.i32s(stream)
+		w.align8()
+	}
+}
+
+// writeStreams writes per-symbol rank streams as cumulative offsets plus one
+// concatenated data array.
+func writeStreams(w *snapWriter, streams [][]int32) {
+	off := uint32(0)
+	w.u32(0)
+	for _, s := range streams {
+		off += uint32(len(s))
+		w.u32(off)
+	}
+	w.align8()
+	for _, s := range streams {
+		w.i32s(s)
+	}
+	w.align8()
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+
+type snapReader struct {
+	data []byte
+	off  int
+}
+
+func (r *snapReader) remaining() int { return len(r.data) - r.off }
+
+func (r *snapReader) take(n int) ([]byte, error) {
+	if n < 0 || n > r.remaining() {
+		return nil, fmt.Errorf("xmlstore: snapshot truncated at offset %d (need %d bytes)", r.off, n)
+	}
+	b := r.data[r.off : r.off+n : r.off+n]
+	r.off += n
+	return b, nil
+}
+
+func (r *snapReader) u32() (uint32, error) {
+	b, err := r.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(b), nil
+}
+
+func (r *snapReader) align8() error {
+	if rem := r.off & 7; rem != 0 {
+		if _, err := r.take(8 - rem); err != nil {
 			return err
 		}
-		switch n.Kind {
-		case xdm.ElementNode, xdm.AttributeNode:
-			writeUvarint(bw, uint64(nameID[n.Name]))
-		}
-		switch n.Kind {
-		case xdm.TextNode, xdm.AttributeNode:
-			writeString(bw, n.Text)
-		}
-		parent := uint64(0)
-		if n.Parent != nil {
-			parent = uint64(n.Parent.Pre) + 1
-		}
-		writeUvarint(bw, parent)
 	}
-	return bw.Flush()
+	return nil
 }
 
-// ReadSnapshot deserializes a document written by WriteSnapshot and rebuilds
-// its region encodings.
-func ReadSnapshot(r io.Reader) (*xdm.Tree, error) {
-	br := bufio.NewReader(r)
-	magic := make([]byte, 4)
-	if _, err := io.ReadFull(br, magic); err != nil {
+// i32s returns n int32 values. The count is bounds-checked against the
+// remaining bytes before any allocation, so a hostile header cannot force a
+// huge make. On little-endian hosts with an aligned cursor the returned
+// slice aliases the snapshot buffer.
+func (r *snapReader) i32s(n int) ([]int32, error) {
+	if n < 0 || n > r.remaining()/4 {
+		return nil, fmt.Errorf("xmlstore: snapshot truncated: %d int32s at offset %d", n, r.off)
+	}
+	b, err := r.take(n * 4)
+	if err != nil {
+		return nil, err
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))&3 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), n), nil
+	}
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[i*4:]))
+	}
+	return out, nil
+}
+
+// stringTable reads a table of count strings; the strings alias the buffer.
+func (r *snapReader) stringTable(count int) ([]string, error) {
+	if count < 0 || count+1 > r.remaining()/4 {
+		return nil, fmt.Errorf("xmlstore: snapshot truncated: string table of %d at offset %d", count, r.off)
+	}
+	offb, err := r.take((count + 1) * 4)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.align8(); err != nil {
+		return nil, err
+	}
+	if first := binary.LittleEndian.Uint32(offb); first != 0 {
+		return nil, fmt.Errorf("xmlstore: snapshot string table does not start at 0")
+	}
+	blobLen := binary.LittleEndian.Uint32(offb[count*4:])
+	blob, err := r.take(int(blobLen))
+	if err != nil {
+		return nil, err
+	}
+	if err := r.align8(); err != nil {
+		return nil, err
+	}
+	out := make([]string, count)
+	prev := uint32(0)
+	for i := 0; i < count; i++ {
+		end := binary.LittleEndian.Uint32(offb[(i+1)*4:])
+		if end < prev || end > blobLen {
+			return nil, fmt.Errorf("xmlstore: snapshot string table offsets out of order")
+		}
+		out[i] = byteString(blob[prev:end])
+		prev = end
+	}
+	return out, nil
+}
+
+// streams reads per-symbol rank streams (cumulative offsets + concatenated
+// data), returning subslices of one shared array.
+func (r *snapReader) streams(nsyms, nNodes int) ([][]int32, error) {
+	if nsyms < 0 || nsyms+1 > r.remaining()/4 {
+		return nil, fmt.Errorf("xmlstore: snapshot truncated: stream table of %d at offset %d", nsyms, r.off)
+	}
+	offb, err := r.take((nsyms + 1) * 4)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.align8(); err != nil {
+		return nil, err
+	}
+	if first := binary.LittleEndian.Uint32(offb); first != 0 {
+		return nil, fmt.Errorf("xmlstore: snapshot stream offsets do not start at 0")
+	}
+	total := binary.LittleEndian.Uint32(offb[nsyms*4:])
+	data, err := r.i32s(int(total))
+	if err != nil {
+		return nil, err
+	}
+	if err := r.align8(); err != nil {
+		return nil, err
+	}
+	out := make([][]int32, nsyms)
+	prev := uint32(0)
+	for i := 0; i < nsyms; i++ {
+		end := binary.LittleEndian.Uint32(offb[(i+1)*4:])
+		if end < prev || end > total {
+			return nil, fmt.Errorf("xmlstore: snapshot stream offsets out of order")
+		}
+		if end > prev {
+			// Each symbol's stream is ascending on its own; the concatenation
+			// across symbols is not.
+			if err := checkRanks(data[prev:end], nNodes); err != nil {
+				return nil, err
+			}
+			out[i] = data[prev:end:end]
+		}
+		prev = end
+	}
+	return out, nil
+}
+
+// checkRanks validates a rank stream: strictly ascending within [0, nNodes),
+// so Materialize and the binary-search kernels can never index out of range
+// over a corrupted snapshot.
+func checkRanks(a []int32, nNodes int) error {
+	prev := int32(-1)
+	for _, v := range a {
+		if v <= prev || int(v) >= nNodes {
+			return fmt.Errorf("xmlstore: snapshot rank stream not ascending in range")
+		}
+		prev = v
+	}
+	return nil
+}
+
+// mergedStream reads one merged rank stream of length n, validating order
+// and range. Streams within a section are each followed by alignment.
+func (r *snapReader) mergedStream(n, nNodes int) ([]int32, error) {
+	a, err := r.i32s(n)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.align8(); err != nil {
+		return nil, err
+	}
+	if err := checkRanks(a, nNodes); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// OpenCorpus deserializes a v2 corpus snapshot held in data. It takes
+// ownership of the buffer: the loaded trees' names, text values, columns and
+// rank streams alias it (on little-endian hosts), so the caller must not
+// modify it afterwards. Corrupted or truncated input returns an error, never
+// a panic — the fuzz suite holds the reader to that.
+func OpenCorpus(data []byte) (*CorpusSnapshot, error) {
+	r := &snapReader{data: data}
+	head, err := r.take(8)
+	if err != nil {
 		return nil, fmt.Errorf("xmlstore: snapshot header: %w", err)
 	}
-	if string(magic) != snapshotMagic {
+	if string(head[:4]) != snapshotMagic {
 		return nil, fmt.Errorf("xmlstore: not a snapshot file")
 	}
-	version, err := br.ReadByte()
+	if head[4] != snapshotVersion {
+		return nil, fmt.Errorf("xmlstore: unsupported snapshot version %d (this build reads version %d)", head[4], snapshotVersion)
+	}
+	nMembers, err := r.u32()
 	if err != nil {
 		return nil, err
 	}
-	if version != snapshotVersion {
-		return nil, fmt.Errorf("xmlstore: unsupported snapshot version %d", version)
-	}
-	nNames, err := binary.ReadUvarint(br)
+	nNames, err := r.u32()
 	if err != nil {
 		return nil, err
 	}
-	names := make([]string, nNames)
-	for i := range names {
-		if names[i], err = readString(br); err != nil {
-			return nil, err
-		}
+	s := &CorpusSnapshot{}
+	if s.URIs, err = r.stringTable(int(nMembers)); err != nil {
+		return nil, err
 	}
-	nNodes, err := binary.ReadUvarint(br)
+	if s.Names, err = r.stringTable(int(nNames)); err != nil {
+		return nil, err
+	}
+	cells := int64(nNames) * int64(nMembers)
+	if cells > int64(r.remaining())/4 {
+		return nil, fmt.Errorf("xmlstore: snapshot truncated: name table of %d cells", cells)
+	}
+	flat, err := r.i32s(int(cells))
 	if err != nil {
 		return nil, err
 	}
-	if nNodes < 2 {
-		return nil, fmt.Errorf("xmlstore: snapshot without a document root")
+	if len(flat) > 0 {
+		s.NameSyms = unsafe.Slice((*xdm.Sym)(unsafe.Pointer(&flat[0])), len(flat))
 	}
-	nodes := make([]*xdm.Node, 0, nNodes)
-	var rootElem *xdm.Node
-	for i := uint64(0); i < nNodes; i++ {
-		kindByte, err := br.ReadByte()
+	if err := r.align8(); err != nil {
+		return nil, err
+	}
+	s.Indexes = make([]*Index, 0, min(int(nMembers), r.remaining()/16))
+	for m := 0; m < int(nMembers); m++ {
+		ix, err := readMember(r)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("xmlstore: snapshot member %d: %w", m, err)
 		}
-		kind := xdm.Kind(kindByte)
-		n := &xdm.Node{Kind: kind}
-		switch kind {
-		case xdm.ElementNode, xdm.AttributeNode:
-			id, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			if id >= uint64(len(names)) {
-				return nil, fmt.Errorf("xmlstore: snapshot name index out of range")
-			}
-			n.Name = names[id]
-		case xdm.DocumentNode:
-		case xdm.TextNode:
-		default:
-			return nil, fmt.Errorf("xmlstore: snapshot has invalid node kind %d", kindByte)
-		}
-		switch kind {
-		case xdm.TextNode, xdm.AttributeNode:
-			if n.Text, err = readString(br); err != nil {
-				return nil, err
-			}
-		}
-		parentPlus1, err := binary.ReadUvarint(br)
-		if err != nil {
-			return nil, err
-		}
-		if parentPlus1 == 0 {
-			if kind != xdm.DocumentNode || i != 0 {
-				return nil, fmt.Errorf("xmlstore: snapshot node %d has no parent", i)
-			}
-		} else {
-			if parentPlus1 > uint64(len(nodes)) {
-				return nil, fmt.Errorf("xmlstore: snapshot parent reference out of order")
-			}
-			parent := nodes[parentPlus1-1]
-			switch kind {
-			case xdm.AttributeNode:
-				n.Parent = parent
-				parent.Attrs = append(parent.Attrs, n)
-			case xdm.DocumentNode:
-				return nil, fmt.Errorf("xmlstore: nested document node")
-			default:
-				n.Parent = parent
-				parent.Children = append(parent.Children, n)
-				if kind == xdm.ElementNode && parent.Kind == xdm.DocumentNode && rootElem == nil {
-					rootElem = n
-				}
-			}
-		}
-		nodes = append(nodes, n)
+		s.Indexes = append(s.Indexes, ix)
 	}
-	if rootElem == nil {
-		return nil, fmt.Errorf("xmlstore: snapshot without a root element")
+	// Validate the corpus name table against the member symbol tables, so a
+	// corrupt cell cannot alias one name's stream to another's.
+	for i, name := range s.Names {
+		for m := range s.Indexes {
+			sym := s.NameSyms[i*int(nMembers)+m]
+			if sym == xdm.NoSym {
+				continue
+			}
+			if int(sym) >= s.Indexes[m].Tree.Syms.Len() || s.Indexes[m].Tree.Syms.Name(sym) != name {
+				return nil, fmt.Errorf("xmlstore: snapshot name table cell (%q, member %d) does not match the member's symbols", name, m)
+			}
+		}
 	}
-	// Rebuild the region encodings from scratch (Finalize re-wraps the
-	// root element in a fresh document node).
-	rootElem.Parent = nil
-	return xdm.Finalize(rootElem), nil
+	return s, nil
 }
 
-func writeUvarint(w *bufio.Writer, v uint64) {
-	var buf [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n])
-}
-
-func writeString(w *bufio.Writer, s string) {
-	writeUvarint(w, uint64(len(s)))
-	w.WriteString(s)
-}
-
-func readString(r *bufio.Reader) (string, error) {
-	n, err := binary.ReadUvarint(r)
+func readMember(r *snapReader) (*Index, error) {
+	nNodes, err := r.u32()
 	if err != nil {
-		return "", err
+		return nil, err
 	}
-	if n > 1<<30 {
-		return "", fmt.Errorf("xmlstore: snapshot string too large")
+	nSyms, err := r.u32()
+	if err != nil {
+		return nil, err
 	}
-	buf := make([]byte, n)
-	if _, err := io.ReadFull(r, buf); err != nil {
-		return "", err
+	nTexts, err := r.u32()
+	if err != nil {
+		return nil, err
 	}
-	return string(buf), nil
+	if _, err := r.u32(); err != nil { // reserved
+		return nil, err
+	}
+	names, err := r.stringTable(int(nSyms))
+	if err != nil {
+		return nil, err
+	}
+	syms, err := xdm.NewSymbols(names)
+	if err != nil {
+		return nil, err
+	}
+	n := int(nNodes)
+	cols := &xdm.Cols{}
+	for _, col := range []*[]int32{&cols.Post, &cols.Size, &cols.Level, &cols.Parent, &cols.Sym} {
+		if *col, err = r.i32s(n); err != nil {
+			return nil, err
+		}
+		if err := r.align8(); err != nil {
+			return nil, err
+		}
+	}
+	kind, err := r.take(n)
+	if err != nil {
+		return nil, err
+	}
+	cols.Kind = kind
+	if err := r.align8(); err != nil {
+		return nil, err
+	}
+	texts, err := r.stringTable(int(nTexts))
+	if err != nil {
+		return nil, err
+	}
+	tree, err := xdm.TreeFromColumns(cols, syms, texts)
+	if err != nil {
+		return nil, err
+	}
+	ix := &Index{Tree: tree}
+	if ix.elemBySym, err = r.streams(int(nSyms), n); err != nil {
+		return nil, err
+	}
+	if ix.attrBySym, err = r.streams(int(nSyms), n); err != nil {
+		return nil, err
+	}
+	var counts [4]uint32
+	for i := range counts {
+		if counts[i], err = r.u32(); err != nil {
+			return nil, err
+		}
+	}
+	if ix.allElems, err = r.mergedStream(int(counts[0]), n); err != nil {
+		return nil, err
+	}
+	if ix.allText, err = r.mergedStream(int(counts[1]), n); err != nil {
+		return nil, err
+	}
+	if ix.allNodes, err = r.mergedStream(int(counts[2]), n); err != nil {
+		return nil, err
+	}
+	if ix.allAttrs, err = r.mergedStream(int(counts[3]), n); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// ---------------------------------------------------------------------------
+// Single-document entry points (one-member corpora)
+
+// WriteSnapshot serializes a single document with its index: a one-member
+// corpus snapshot with an empty corpus name table.
+func WriteSnapshot(w io.Writer, ix *Index) error {
+	return WriteCorpus(w, &CorpusSnapshot{URIs: []string{""}, Indexes: []*Index{ix}})
+}
+
+// ReadSnapshot deserializes a single-document snapshot written by
+// WriteSnapshot, returning the member's ready index (no region or index
+// rebuild). The reader's bytes are consumed into a private buffer.
+func ReadSnapshot(r io.Reader) (*Index, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("xmlstore: %w", err)
+	}
+	s, err := OpenCorpus(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(s.Indexes) != 1 {
+		return nil, fmt.Errorf("xmlstore: snapshot holds %d members; use OpenCorpus for corpora", len(s.Indexes))
+	}
+	return s.Indexes[0], nil
 }

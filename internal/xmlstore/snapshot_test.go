@@ -3,6 +3,8 @@ package xmlstore
 import (
 	"bytes"
 	"math/rand"
+	"reflect"
+	"sort"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -10,33 +12,172 @@ import (
 	"xqtp/internal/xdm"
 )
 
+// indexesEqual compares two indexes node for node and stream for stream:
+// the region columns, the pointer data model, and every tag stream.
+func indexesEqual(t *testing.T, a, b *Index) {
+	t.Helper()
+	ta, tb := a.Tree, b.Tree
+	// Force materialization so the pointer data model of a snapshot-loaded
+	// tree is built and compared, not just its columns.
+	ta.RootNode()
+	tb.RootNode()
+	if len(ta.Nodes) != len(tb.Nodes) {
+		t.Fatalf("node count %d != %d", len(tb.Nodes), len(ta.Nodes))
+	}
+	for i := range ta.Nodes {
+		x, y := ta.Nodes[i], tb.Nodes[i]
+		if x.Kind != y.Kind || x.Name != y.Name || x.Text != y.Text ||
+			x.Pre != y.Pre || x.Post != y.Post || x.Size != y.Size || x.Level != y.Level ||
+			x.Sym != y.Sym {
+			t.Fatalf("node %d differs: %+v vs %+v", i, x, y)
+		}
+		if len(x.Children) != len(y.Children) || len(x.Attrs) != len(y.Attrs) {
+			t.Fatalf("node %d fan-out differs", i)
+		}
+		if (x.Parent == nil) != (y.Parent == nil) {
+			t.Fatalf("node %d parent presence differs", i)
+		}
+		if x.Parent != nil && x.Parent.Pre != y.Parent.Pre {
+			t.Fatalf("node %d parent differs: %d vs %d", i, x.Parent.Pre, y.Parent.Pre)
+		}
+	}
+	ca, cb := ta.Cols, tb.Cols
+	if !reflect.DeepEqual(ca.Post, cb.Post) || !reflect.DeepEqual(ca.Size, cb.Size) ||
+		!reflect.DeepEqual(ca.Level, cb.Level) || !reflect.DeepEqual(ca.Parent, cb.Parent) ||
+		!reflect.DeepEqual(ca.Kind, cb.Kind) || !reflect.DeepEqual(ca.Sym, cb.Sym) {
+		t.Fatalf("columns differ")
+	}
+	if ta.Syms.Len() != tb.Syms.Len() {
+		t.Fatalf("symbol count %d != %d", tb.Syms.Len(), ta.Syms.Len())
+	}
+	for s := xdm.Sym(0); int(s) < ta.Syms.Len(); s++ {
+		if ta.Syms.Name(s) != tb.Syms.Name(s) {
+			t.Fatalf("symbol %d: %q != %q", s, tb.Syms.Name(s), ta.Syms.Name(s))
+		}
+		ae, be := a.ElementRanksSym(s), b.ElementRanksSym(s)
+		if !streamsEq(ae, be) {
+			t.Fatalf("element stream for %q differs: %v vs %v", ta.Syms.Name(s), ae, be)
+		}
+		aa, ba := a.AttributeRanksSym(s), b.AttributeRanksSym(s)
+		if !streamsEq(aa, ba) {
+			t.Fatalf("attribute stream for %q differs: %v vs %v", ta.Syms.Name(s), aa, ba)
+		}
+	}
+	if !streamsEq(a.allElems, b.allElems) || !streamsEq(a.allText, b.allText) ||
+		!streamsEq(a.allNodes, b.allNodes) || !streamsEq(a.allAttrs, b.allAttrs) {
+		t.Fatalf("merged streams differ")
+	}
+}
+
+func streamsEq(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 func TestSnapshotRoundTrip(t *testing.T) {
-	tr, err := ParseString(`<a id="1"><b x="y"><c>hello</c></b><c>world</c></a>`)
+	ix, err := IngestString(`<a id="1"><b x="y"><c>hello</c></b><c>world</c></a>`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	var buf bytes.Buffer
-	if err := WriteSnapshot(&buf, tr); err != nil {
+	if err := WriteSnapshot(&buf, ix); err != nil {
 		t.Fatal(err)
 	}
-	tr2, err := ReadSnapshot(&buf)
+	ix2, err := ReadSnapshot(&buf)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if tr2.CountNodes() != tr.CountNodes() {
-		t.Fatalf("node count %d != %d", tr2.CountNodes(), tr.CountNodes())
-	}
-	if SerializeString(tr2.Root) != SerializeString(tr.Root) {
+	indexesEqual(t, ix, ix2)
+	if SerializeString(ix2.Tree.RootNode()) != SerializeString(ix.Tree.RootNode()) {
 		t.Errorf("serialization differs:\n  %s\n  %s",
-			SerializeString(tr.Root), SerializeString(tr2.Root))
+			SerializeString(ix.Tree.RootNode()), SerializeString(ix2.Tree.RootNode()))
 	}
-	// Region encodings match node for node.
-	for i := range tr.Nodes {
-		a, b := tr.Nodes[i], tr2.Nodes[i]
-		if a.Kind != b.Kind || a.Name != b.Name || a.Text != b.Text ||
-			a.Pre != b.Pre || a.Post != b.Post || a.Size != b.Size || a.Level != b.Level {
-			t.Fatalf("node %d differs: %+v vs %+v", i, a, b)
+}
+
+// snapshotFromIndexes assembles a CorpusSnapshot over members the way the
+// collection layer does: the name table is the union of all member symbol
+// tables, sorted, with NoSym cells for absent names.
+func snapshotFromIndexes(uris []string, ixs []*Index) *CorpusSnapshot {
+	set := map[string]bool{}
+	for _, ix := range ixs {
+		for _, n := range ix.Tree.Syms.Names() {
+			set[n] = true
 		}
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	cells := make([]xdm.Sym, len(names)*len(ixs))
+	for i, name := range names {
+		for m, ix := range ixs {
+			s, ok := ix.Tree.Syms.Lookup(name)
+			if !ok {
+				s = xdm.NoSym
+			}
+			cells[i*len(ixs)+m] = s
+		}
+	}
+	return &CorpusSnapshot{URIs: uris, Indexes: ixs, Names: names, NameSyms: cells}
+}
+
+func TestCorpusSnapshotRoundTrip(t *testing.T) {
+	docs := []string{
+		`<a id="1"><b>one</b><b>two</b></a>`,
+		`<catalog><item price="3">x</item><other/></catalog>`,
+		`<a><c k="v"/></a>`,
+	}
+	uris := []string{"one.xml", "two.xml", "three.xml"}
+	ixs := make([]*Index, len(docs))
+	for i, d := range docs {
+		ix, err := IngestString(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ixs[i] = ix
+	}
+	s := snapshotFromIndexes(uris, ixs)
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenCorpus(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s2.URIs, s.URIs) {
+		t.Fatalf("URIs differ: %v vs %v", s2.URIs, s.URIs)
+	}
+	if !reflect.DeepEqual(s2.Names, s.Names) {
+		t.Fatalf("names differ: %v vs %v", s2.Names, s.Names)
+	}
+	if !reflect.DeepEqual(s2.NameSyms, s.NameSyms) {
+		t.Fatalf("name table cells differ: %v vs %v", s2.NameSyms, s.NameSyms)
+	}
+	for m := range ixs {
+		indexesEqual(t, ixs[m], s2.Indexes[m])
+	}
+}
+
+func TestSnapshotEmptyCorpus(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, &CorpusSnapshot{}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenCorpus(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Indexes) != 0 || len(s.URIs) != 0 || len(s.Names) != 0 {
+		t.Fatalf("empty corpus round-tripped non-empty: %+v", s)
 	}
 }
 
@@ -44,19 +185,67 @@ func TestSnapshotErrors(t *testing.T) {
 	cases := [][]byte{
 		nil,
 		[]byte("XQ"),
-		[]byte("NOPE\x01"),
-		[]byte("XQTS\x63"),         // bad version
-		[]byte("XQTS\x01\x01"),     // truncated name table
-		[]byte("XQTS\x01\x00\x00"), // zero nodes
+		[]byte("NOPE\x01\x00\x00\x00"),
+		[]byte("XQTS\x01\x00\x00\x00"), // old version
+		[]byte("XQTS\x63\x00\x00\x00"), // future version
+		[]byte("XQTS\x02\x00\x00\x00"), // truncated header
+		// Header claiming 4 billion members with no member data: must error,
+		// not attempt a giant allocation.
+		append([]byte("XQTS\x02\x00\x00\x00"), 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0),
 	}
 	for _, c := range cases {
-		if _, err := ReadSnapshot(bytes.NewReader(c)); err == nil {
-			t.Errorf("ReadSnapshot(%q) should fail", c)
+		if _, err := OpenCorpus(c); err == nil {
+			t.Errorf("OpenCorpus(%q) should fail", c)
 		}
 	}
 }
 
-// Property: snapshot round trips preserve random documents exactly.
+// Corrupting any single byte of a valid snapshot must produce either an
+// error or a successful load — never a panic. (Some flips are benign: a bit
+// in a text character, say.)
+func TestSnapshotCorruption(t *testing.T) {
+	ix, err := IngestString(`<a id="1"><b x="y"><c>hello</c></b><c>world</c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := range good {
+		for _, flip := range []byte{0xff, 0x01, 0x80} {
+			data := bytes.Clone(good)
+			data[i] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("OpenCorpus panicked with byte %d ^= %#x: %v", i, flip, r)
+					}
+				}()
+				s, err := OpenCorpus(data)
+				if err != nil {
+					return
+				}
+				// A load that succeeds must also materialize without
+				// panicking — load-time validation has to be strong enough
+				// to cover the deferred pointer-model build.
+				for _, ix2 := range s.Indexes {
+					ix2.Tree.RootNode()
+				}
+			}()
+		}
+	}
+	// Every truncation must error (a prefix is never a valid snapshot here).
+	for n := 0; n < len(good); n++ {
+		if _, err := OpenCorpus(good[:n:n]); err == nil {
+			t.Errorf("truncation to %d bytes should fail", n)
+		}
+	}
+}
+
+// Property: snapshot round trips preserve random documents exactly,
+// including their index streams.
 func TestSnapshotProperty(t *testing.T) {
 	tags := []string{"a", "b", "c-long-name", "d"}
 	check := func(seed int64) bool {
@@ -76,16 +265,19 @@ func TestSnapshotProperty(t *testing.T) {
 			nodes = append(nodes, el)
 		}
 		tr := xdm.Finalize(root)
+		ix := BuildIndex(tr)
 		var buf bytes.Buffer
-		if err := WriteSnapshot(&buf, tr); err != nil {
+		if err := WriteSnapshot(&buf, ix); err != nil {
 			return false
 		}
-		tr2, err := ReadSnapshot(&buf)
+		ix2, err := ReadSnapshot(&buf)
 		if err != nil {
 			return false
 		}
-		return SerializeString(tr2.Root) == SerializeString(tr.Root) &&
-			tr2.CountNodes() == tr.CountNodes()
+		return SerializeString(ix2.Tree.RootNode()) == SerializeString(tr.Root) &&
+			ix2.Tree.CountNodes() == tr.CountNodes() &&
+			streamsEq(ix.allNodes, ix2.allNodes) &&
+			streamsEq(ix.allElems, ix2.allElems)
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)

@@ -137,7 +137,7 @@ func LoadXMLString(s string) (*Document, error) {
 // benchmark harness).
 func newDocument(t *xdm.Tree) *Document {
 	cat := xmlstore.NewCatalog()
-	return &Document{tree: t, index: cat.Index(t), catalog: cat, rootSeq: xdm.Singleton(t.Root)}
+	return &Document{tree: t, index: cat.Index(t), catalog: cat, rootSeq: xdm.Singleton(t.RootNode())}
 }
 
 // newDocumentIndexed wraps a fused ingest result, registering its
@@ -145,7 +145,7 @@ func newDocument(t *xdm.Tree) *Document {
 func newDocumentIndexed(ix *xmlstore.Index) *Document {
 	cat := xmlstore.NewCatalog()
 	cat.Register(ix)
-	return &Document{tree: ix.Tree, index: ix, catalog: cat, rootSeq: xdm.Singleton(ix.Tree.Root)}
+	return &Document{tree: ix.Tree, index: ix, catalog: cat, rootSeq: xdm.Singleton(ix.Tree.RootNode())}
 }
 
 // Root returns the document node.
@@ -195,20 +195,22 @@ func (d *Document) WriteXML(w io.Writer) error {
 	return xmlstore.Serialize(w, d.tree.Root)
 }
 
-// SaveSnapshot writes the document in the compact binary snapshot format,
-// which reloads much faster than reparsing XML.
+// SaveSnapshot writes the document in the columnar binary snapshot format:
+// the region columns and index streams go out as-is, so loading skips both
+// the parse and the index build.
 func (d *Document) SaveSnapshot(w io.Writer) error {
-	return xmlstore.WriteSnapshot(w, d.tree)
+	return xmlstore.WriteSnapshot(w, d.index)
 }
 
-// LoadSnapshot reads a document written by SaveSnapshot and rebuilds its
-// index.
+// LoadSnapshot reads a document written by SaveSnapshot. The tree and its
+// tag-stream index come straight from the stored columns — no region
+// encoding or index rebuild.
 func LoadSnapshot(r io.Reader) (*Document, error) {
-	t, err := xmlstore.ReadSnapshot(r)
+	ix, err := xmlstore.ReadSnapshot(r)
 	if err != nil {
 		return nil, err
 	}
-	return newDocument(t), nil
+	return newDocumentIndexed(ix), nil
 }
 
 // CompileOptions configures query preparation.
