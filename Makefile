@@ -45,6 +45,8 @@ bench-smoke:
 	-$(GO) run ./cmd/benchdiff BENCH_ingest_quick.json /tmp/bench_ingest_quick.json
 	$(GO) run ./cmd/treebench -exp collection -quick -json /tmp/bench_collection_quick.json
 	-$(GO) run ./cmd/benchdiff BENCH_collection_quick.json /tmp/bench_collection_quick.json
+	$(GO) run ./cmd/treebench -exp optimizer -quick -json /tmp/bench_optimizer_quick.json
+	-$(GO) run ./cmd/benchdiff BENCH_optimizer_quick.json /tmp/bench_optimizer_quick.json
 
 # Short differential fuzz of the ingest scanner against the encoding/xml
 # oracle, and of the snapshot reader against corrupted/truncated bytes (the

@@ -23,6 +23,7 @@ type report struct {
 	Results         []xqtp.ServeResult    `json:"results"`
 	IngestCells     []xqtp.IngestCell     `json:"ingest_cells"`
 	CollectionCells []xqtp.CollectionCell `json:"collection_cells"`
+	OptimizerCells  []xqtp.OptimizerCell  `json:"optimizer_cells"`
 }
 
 func load(path string) (report, error) {
@@ -34,7 +35,8 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(r.Cells) == 0 && len(r.Results) == 0 && len(r.IngestCells) == 0 && len(r.CollectionCells) == 0 {
+	if len(r.Cells) == 0 && len(r.Results) == 0 && len(r.IngestCells) == 0 &&
+		len(r.CollectionCells) == 0 && len(r.OptimizerCells) == 0 {
 		return r, fmt.Errorf("%s: no cells or results", path)
 	}
 	return r, nil
@@ -153,6 +155,36 @@ func diffCollection(old, new []xqtp.CollectionCell) {
 	}
 }
 
+func diffOptimizer(old, new []xqtp.OptimizerCell) {
+	type key struct {
+		kind, query, doc, step string
+		members                int
+	}
+	prev := make(map[key]xqtp.OptimizerCell, len(old))
+	for _, c := range old {
+		prev[key{c.Kind, c.Query, c.Doc, c.Step, c.Members}] = c
+	}
+	fmt.Printf("%-6s %-16s %-40s %20s %18s %20s\n",
+		"query", "doc", "step", "q-err old→new", "act old→new", "skipped old→new")
+	for _, c := range new {
+		o, ok := prev[key{c.Kind, c.Query, c.Doc, c.Step, c.Members}]
+		if !ok {
+			fmt.Printf("%-6s %-16s %-40s (new cell)\n", c.Query, c.Doc, c.Step)
+			continue
+		}
+		if c.Kind == "skip" {
+			fmt.Printf("%-6s %-16s %-40s %20s %18s %8d→%-8d %s\n",
+				c.Query, fmt.Sprintf("corpus-%d", c.Members), "", "", "",
+				o.Skipped, c.Skipped, pct(float64(o.Skipped), float64(c.Skipped)))
+			continue
+		}
+		fmt.Printf("%-6s %-16s %-40s %8.2f→%-8.2f %s %6d→%-6d %s\n",
+			c.Query, c.Doc, c.Step,
+			o.QError, c.QError, pct(o.QError, c.QError),
+			o.Act, c.Act, pct(float64(o.Act), float64(c.Act)))
+	}
+}
+
 func main() {
 	if len(os.Args) != 3 {
 		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
@@ -171,6 +203,8 @@ func main() {
 				diffIngest(oldR.IngestCells, newR.IngestCells)
 			case len(oldR.CollectionCells) > 0 && len(newR.CollectionCells) > 0:
 				diffCollection(oldR.CollectionCells, newR.CollectionCells)
+			case len(oldR.OptimizerCells) > 0 && len(newR.OptimizerCells) > 0:
+				diffOptimizer(oldR.OptimizerCells, newR.OptimizerCells)
 			default:
 				err = fmt.Errorf("reports are of different kinds")
 			}

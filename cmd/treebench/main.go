@@ -11,6 +11,7 @@
 //	treebench -exp serve -json BENCH_serve.json -cpus 1,2,4  # serving QPS
 //	treebench -exp ingest -json BENCH_ingest.json  # parse throughput fast vs std
 //	treebench -exp collection -json BENCH_collection.json  # corpus ingest MB/s + fan-out QPS
+//	treebench -exp optimizer -json BENCH_optimizer.json  # cost-model est vs act + member skips
 package main
 
 import (
@@ -26,7 +27,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, serve, ingest, collection, all")
+		exp      = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, serve, ingest, collection, optimizer, all")
 		quick    = flag.Bool("quick", false, "reduced document sizes for a fast run")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		repeats  = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
@@ -86,6 +87,8 @@ func main() {
 		err = xqtp.RunIngest(w, opts, *jsonPath)
 	case "collection":
 		err = xqtp.RunCollection(w, opts, *jsonPath)
+	case "optimizer":
+		err = xqtp.RunOptimizer(w, opts, *jsonPath)
 	case "all":
 		err = xqtp.RunAll(w, opts)
 	default:

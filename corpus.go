@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sync/atomic"
 
 	"xqtp/internal/collection"
 	"xqtp/internal/physical"
@@ -153,9 +154,11 @@ func (c *Corpus) Run(q *Query, alg Algorithm) (Sequence, error) {
 // member — the context item and every free variable bound to the member's
 // document node, exactly as Query.Run binds a single Document — and the
 // per-document results merge in corpus order, so the output is byte-identical
-// at any worker count. Members whose symbol tables lack a name the plan
-// provably requires (physical.RequiredNames over the conjunctive patterns)
-// are skipped without evaluation.
+// at any worker count. Members where some required step of the plan
+// (physical.RequiredSteps over the conjunctive patterns) has an empty rank
+// stream — the name absent entirely, or present only as the wrong node kind
+// — are skipped without evaluation; the members that do run pick their
+// algorithm per member through the cost model when alg is Auto.
 //
 // Plans that call fn:doc or fn:collection see the whole corpus at once: they
 // evaluate once with the corpus bound as the document resolver, and workers
@@ -164,9 +167,23 @@ func (c *Corpus) Run(q *Query, alg Algorithm) (Sequence, error) {
 // cross-document parallelism falls out of the existing fan-out). Both shapes
 // reuse the query's plan and preparation caches, keyed per member document.
 func (c *Corpus) RunParallel(q *Query, alg Algorithm, workers int) (Sequence, error) {
+	seq, _, err := c.RunParallelStats(q, alg, workers)
+	return seq, err
+}
+
+// RunStats is the member accounting of one RunParallelStats call.
+type RunStats struct {
+	Members int // corpus members
+	Skipped int // members skipped by the emptiness proof, never evaluated
+}
+
+// RunParallelStats is RunParallel, additionally reporting how many members
+// the count-based emptiness proof skipped.
+func (c *Corpus) RunParallelStats(q *Query, alg Algorithm, workers int) (Sequence, RunStats, error) {
+	stats := RunStats{Members: c.c.Len()}
 	p, err := q.physicalPlan(alg)
 	if err != nil {
-		return nil, err
+		return nil, stats, err
 	}
 	if p.UsesDocAccess() {
 		rt := &physical.Runtime{
@@ -175,14 +192,44 @@ func (c *Corpus) RunParallel(q *Query, alg Algorithm, workers int) (Sequence, er
 			Parallel: workers,
 			Docs:     c.c,
 		}
-		return p.Run(rt)
+		seq, err := p.Run(rt)
+		return seq, stats, err
 	}
 	var skip func(int) bool
-	if required := p.RequiredNames(); len(required) > 0 {
+	var skipped atomic.Int64
+	if required := p.RequiredSteps(); len(required) > 0 {
+		// Hoist the name-table lookups: one symbol column per required
+		// step, then the per-member test is an array index plus a stream
+		// length — no string hashing anywhere in the fan-out.
 		nt := c.c.Names()
-		skip = func(i int) bool { return !nt.HasAll(i, required) }
+		cols := make([][]xdm.Sym, len(required))
+		for k, r := range required {
+			cols[k] = nt.SymColumn(r.Name)
+		}
+		docs := c.c.Docs()
+		skip = func(i int) bool {
+			for k, r := range required {
+				col := cols[k]
+				if col == nil || col[i] == xdm.NoSym {
+					skipped.Add(1)
+					return true
+				}
+				ix := docs[i].Index
+				var n int
+				if r.Attr {
+					n = len(ix.AttributeRanksSym(col[i]))
+				} else {
+					n = len(ix.ElementRanksSym(col[i]))
+				}
+				if n == 0 {
+					skipped.Add(1)
+					return true
+				}
+			}
+			return false
+		}
 	}
-	return c.c.RunAll(workers, skip, func(d *collection.Doc) (Sequence, error) {
+	seq, err := c.c.RunAll(workers, skip, func(d *collection.Doc) (Sequence, error) {
 		rt := &physical.Runtime{
 			Catalog: c.c.Catalog(),
 			Preps:   q.preps,
@@ -191,6 +238,8 @@ func (c *Corpus) RunParallel(q *Query, alg Algorithm, workers int) (Sequence, er
 		}
 		return p.Run(rt)
 	})
+	stats.Skipped = int(skipped.Load())
+	return seq, stats, err
 }
 
 // URIOf attributes a result item back to the member document holding it

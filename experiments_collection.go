@@ -28,14 +28,17 @@ type CollectionCell struct {
 	Query       string `json:"query,omitempty"`
 	CorpusBytes int    `json:"corpus_bytes"`
 	// SnapshotBytes is the serialized snapshot size of the snapshot rows.
-	SnapshotBytes int     `json:"snapshot_bytes,omitempty"`
-	Nodes         int     `json:"nodes,omitempty"`
-	Items         int     `json:"items,omitempty"` // result size of the query rows
-	NsPerOp       float64 `json:"ns_per_op"`
-	MBPerSec      float64 `json:"mb_per_sec,omitempty"`
-	QPS           float64 `json:"qps,omitempty"`
-	AllocsPerOp   int64   `json:"allocs_per_op"`
-	BytesPerOp    int64   `json:"bytes_per_op"`
+	SnapshotBytes int `json:"snapshot_bytes,omitempty"`
+	Nodes         int `json:"nodes,omitempty"`
+	Items         int `json:"items,omitempty"` // result size of the query rows
+	// Skipped counts corpus members the fan-out never evaluated because the
+	// count-based emptiness proof ruled them out (query rows only).
+	Skipped     int     `json:"skipped,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_sec,omitempty"`
+	QPS         float64 `json:"qps,omitempty"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
 }
 
 // CollectionReport is the machine-readable output of RunCollection. The
@@ -212,8 +215,8 @@ func RunCollection(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 		})
 	}
 
-	fmt.Fprintf(w, "\n%-16s %-8s %-8s %10s %12s %8s %14s %12s\n",
-		"query", "docs", "workers", "qps", "ms/op", "items", "B/op", "allocs/op")
+	fmt.Fprintf(w, "\n%-16s %-8s %-8s %10s %12s %8s %8s %14s %12s\n",
+		"query", "docs", "workers", "qps", "ms/op", "items", "skipped", "B/op", "allocs/op")
 	for _, nDocs := range opts.CollectionSizes {
 		corpus, err := LoadCorpus(collectionSources(nDocs, opts.Seed), 0)
 		if err != nil {
@@ -225,13 +228,14 @@ func RunCollection(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 				return fmt.Errorf("%s: %w", pq.Name, err)
 			}
 			for _, workers := range workerCounts {
-				items := 0
+				items, skipped := 0, 0
 				op := func() (int, error) {
-					seq, err := corpus.RunParallel(q, Auto, workers)
+					seq, rs, err := corpus.RunParallelStats(q, Auto, workers)
 					if err != nil {
 						return 0, err
 					}
 					items = len(seq)
+					skipped = rs.Skipped
 					return items, nil
 				}
 				d, allocs, bytesPerOp, _, err := measureIngest(op, opts.Repeats)
@@ -239,8 +243,8 @@ func RunCollection(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 					return fmt.Errorf("%s over %d docs: %w", pq.Name, nDocs, err)
 				}
 				qps := 1 / d.Seconds()
-				fmt.Fprintf(w, "%-16s %-8d %-8d %10.1f %12.2f %8d %14d %12d\n",
-					pq.Name, nDocs, workers, qps, float64(d.Nanoseconds())/1e6, items, bytesPerOp, allocs)
+				fmt.Fprintf(w, "%-16s %-8d %-8d %10.1f %12.2f %8d %8d %14d %12d\n",
+					pq.Name, nDocs, workers, qps, float64(d.Nanoseconds())/1e6, items, skipped, bytesPerOp, allocs)
 				report.Cells = append(report.Cells, CollectionCell{
 					Phase:       "query",
 					Docs:        nDocs,
@@ -248,6 +252,7 @@ func RunCollection(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 					Query:       pq.Name,
 					CorpusBytes: corpus.SizeBytes(),
 					Items:       items,
+					Skipped:     skipped,
 					NsPerOp:     float64(d.Nanoseconds()),
 					QPS:         qps,
 					AllocsPerOp: allocs,

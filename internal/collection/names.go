@@ -105,6 +105,14 @@ func (nt *NameTable) HasAll(doc int, names []string) bool {
 	return true
 }
 
+// SymColumn returns the per-member symbol column for a name, indexed by
+// corpus position (nil when no member interned the name; xdm.NoSym entries
+// mark members that didn't). The count-based skip test hoists this lookup
+// out of its per-member loop.
+func (nt *NameTable) SymColumn(name string) []xdm.Sym {
+	return nt.byName[name]
+}
+
 // DocsWith counts the members that interned the name.
 func (nt *NameTable) DocsWith(name string) int {
 	n := 0

@@ -1,0 +1,46 @@
+package join
+
+import (
+	"xqtp/internal/pattern"
+	"xqtp/internal/xdm"
+	"xqtp/internal/xmlstore"
+)
+
+// StepActuals evaluates every spine prefix of pat from ctx and returns the
+// exact number of distinct nodes matching at each spine step (predicates of
+// the prefix included) — the act= column Explain prints next to the cost
+// model's est=. This is an observability path, not a hot path: it runs one
+// full evaluation per spine step.
+func StepActuals(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) []int {
+	n := pat.SpineLen()
+	out := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		prefix := pat.Clone()
+		prefix.Root.ClearOutputs()
+		s := prefix.Root
+		for j := 0; j < i; j++ {
+			s = s.Next
+		}
+		s.Next = nil
+		s.Out = "n"
+		bindings, err := Eval(Auto, ix, ctx, prefix)
+		if err != nil {
+			out = append(out, -1)
+			continue
+		}
+		out = append(out, distinctFirst(bindings))
+	}
+	return out
+}
+
+// distinctFirst counts the distinct nodes in the bindings' single output
+// column.
+func distinctFirst(bs []Binding) int {
+	seen := make(map[*xdm.Node]struct{}, len(bs))
+	for _, b := range bs {
+		if len(b) > 0 {
+			seen[b[0]] = struct{}{}
+		}
+	}
+	return len(seen)
+}

@@ -16,6 +16,12 @@ import (
 //   - SCJoin and TwigJoin are comparable on simple paths; SCJoin's
 //     per-candidate semi-joins degrade with branching, TwigJoin always
 //     scans every stream once.
+//
+// The model runs on the index's exact statistics: every step's input
+// cardinality is its rank-stream count inside the context region (two binary
+// searches), and per-step output estimates come from containment
+// selectivity — the share of the region lying beneath the previous step's
+// matches, read off the per-symbol subtree masses in xmlstore.Stats.
 const Auto Algorithm = 255
 
 // streamFn resolves a pattern step to its full-document rank stream. The
@@ -23,28 +29,214 @@ const Auto Algorithm = 255
 // index directly.
 type streamFn func(*pattern.Step) []int32
 
+// StepEstimate is the model's prediction for one spine step.
+type StepEstimate struct {
+	Step  *pattern.Step
+	Count int     // exact stream entries inside the context region
+	Out   float64 // predicted candidates surviving the step and its predicates
+}
+
+// Estimate is the cost model's full decision for one (pattern, context)
+// pair: the chosen algorithm, the per-algorithm cost figures it compared,
+// and the per-spine-step cardinality predictions — what Explain prints as
+// est=N and what the optimizer benchmark scores against actual counts.
+type Estimate struct {
+	Alg Algorithm
+	// Empty is set when some required step's document-wide stream is empty:
+	// the pattern is conjunctive, so it can have no binding anywhere in the
+	// document and evaluation can be skipped outright.
+	Empty bool
+
+	CostNL, CostSC, CostTJ float64
+	SCOK, TJOK             bool
+
+	Steps []StepEstimate // spine steps, root to leaf
+}
+
+// Cardinality returns the predicted output cardinality (the last spine
+// step's estimate; 0 for empty patterns).
+func (e *Estimate) Cardinality() float64 {
+	if e.Empty || len(e.Steps) == 0 {
+		return 0
+	}
+	return e.Steps[len(e.Steps)-1].Out
+}
+
 // Choose estimates the cost of each algorithm for evaluating pat from ctx
 // and returns the cheapest. The estimates count index-stream entries and
 // tree nodes touched.
 func Choose(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) Algorithm {
+	return ChooseEstimate(ix, ctx, pat).Alg
+}
+
+// ChooseEstimate runs the full cost model for pat from ctx: algorithm
+// choice, per-algorithm costs, emptiness proof and per-step cardinalities.
+func ChooseEstimate(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) Estimate {
 	_, single := pat.SingleOutput()
-	return choose(ctx, pat, single, func(s *pattern.Step) []int32 {
+	return estimate(ix, ctx, pat, single, func(s *pattern.Step) []int32 {
 		return ix.RanksFor(s.Axis, s.Test)
 	})
 }
 
-func choose(ctx *xdm.Node, pat *pattern.Pattern, single bool, streams streamFn) Algorithm {
-	nl := costNL(ctx, pat)
-	sc, scOK := costSC(ctx, pat, single, streams)
-	tj, tjOK := costTJ(ctx, pat, single, streams)
-	best, bestCost := NestedLoop, nl
-	if scOK && sc < bestCost {
-		best, bestCost = Staircase, sc
+func estimate(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern, single bool, streams streamFn) Estimate {
+	e := Estimate{Empty: provablyEmpty(pat.Root, streams)}
+	e.CostNL = costNL(ctx, pat)
+	e.Steps = estimateSteps(ix, ctx, pat, streams)
+	e.CostSC, e.SCOK = costSC(ctx, pat, single, streams, e.Steps)
+	e.CostTJ, e.TJOK = costTJ(ctx, pat, single, streams)
+	e.Alg = NestedLoop
+	best := e.CostNL
+	if e.SCOK && e.CostSC < best {
+		e.Alg, best = Staircase, e.CostSC
 	}
-	if tjOK && tj < bestCost {
-		best = Twig
+	if e.TJOK && e.CostTJ < best {
+		e.Alg = Twig
 	}
-	return best
+	return e
+}
+
+// provablyEmpty reports whether some step of the pattern can never match in
+// the document: the pattern is conjunctive — every spine step and every
+// predicate step must bind for any output tuple — so one required step with
+// an empty document-wide stream empties the whole pattern, on any axis.
+// node() tests on non-attribute axes are exempt: they can match the document
+// node, which no stream carries.
+func provablyEmpty(s *pattern.Step, streams streamFn) bool {
+	for c := s; c != nil; c = c.Next {
+		if stepRequiresStream(c) && len(streams(c)) == 0 {
+			return true
+		}
+		for _, p := range c.Preds {
+			if provablyEmpty(p, streams) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// stepRequiresStream reports whether every node the step can match appears
+// in its rank stream (so an empty stream proves the step unmatchable). The
+// one exception is node() off the attribute axis, which also matches the
+// document node.
+func stepRequiresStream(s *pattern.Step) bool {
+	return s.Test.Kind != xdm.TestNode || s.Axis == xdm.AxisAttribute
+}
+
+// estimateSteps predicts the per-spine-step output cardinalities via
+// containment selectivity. For each step the exact region stream count is
+// the ceiling; it is scaled by the estimated fraction of the region that
+// lies beneath the previous step's matches (per-symbol subtree mass over
+// region size), and predicate branches multiply in a survival factor — the
+// expected number of branch matches per candidate subtree, capped at 1.
+func estimateSteps(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern, streams streamFn) []StepEstimate {
+	var st *xmlstore.Stats
+	if ix != nil {
+		st = ix.Stats()
+	}
+	region := float64(ctx.Size + 1)
+	if region < 1 {
+		region = 1
+	}
+	out := make([]StepEstimate, 0, pat.SpineLen())
+	cover := 1.0  // est. fraction of the region below the current frontier
+	prev := 1.0   // previous step's estimated output
+	first := true // step 0's region count is exact, not an estimate
+	for s := pat.Root; s != nil; s = s.Next {
+		n := streamLen(ctx, s, streams)
+		est := float64(n)
+		switch s.Axis {
+		case xdm.AxisChild, xdm.AxisDescendant, xdm.AxisDescendantOrSelf, xdm.AxisAttribute:
+			if !first {
+				est *= cover
+			}
+		default:
+			// Self, reverse and sibling axes yield at most one frontier-size
+			// worth of nodes (parent is 1:1, self filters); stay bounded by
+			// both the stream and the incoming frontier.
+			if prev < est {
+				est = prev
+			}
+		}
+		// Predicate branches filter candidates under the containment
+		// assumption: branch matches cluster beneath the step's candidates,
+		// so the survival rate is the branch's bottleneck stream count over
+		// the candidate count, capped at 1.
+		for _, p := range s.Preds {
+			est *= predSurvival(ctx, float64(n), p, streams)
+		}
+		out = append(out, StepEstimate{Step: s, Count: n, Out: est})
+		// The next downward step must land beneath this step's surviving
+		// matches: shrink the covered fraction to their total subtree share.
+		if f := stepFrac(ix, s, st, est, region); f < cover {
+			cover = f
+		}
+		prev = est
+		first = false
+	}
+	return out
+}
+
+// stepFrac estimates the fraction of the region beneath the step's matches:
+// n of the tag's occurrences are in the region, each contributing its
+// document-wide average subtree size.
+func stepFrac(ix *xmlstore.Index, s *pattern.Step, st *xmlstore.Stats, n, region float64) float64 {
+	if n == 0 {
+		return 0
+	}
+	avg, ok := avgSubtree(ix, s, st)
+	if !ok {
+		return 1
+	}
+	f := n * avg / region
+	if f > 1 {
+		return 1
+	}
+	return f
+}
+
+// avgSubtree returns the document-wide average subtree size (self included)
+// of the step's matches, when the step is an element name test with
+// statistics available.
+func avgSubtree(ix *xmlstore.Index, s *pattern.Step, st *xmlstore.Stats) (float64, bool) {
+	if ix == nil || st == nil || s.Test.Kind != xdm.TestName || s.Axis == xdm.AxisAttribute {
+		return 0, false
+	}
+	sym := ix.ResolveName(s.Test.Name)
+	if sym < 0 || int(sym) >= len(st.ElemCount) || st.ElemCount[sym] == 0 {
+		return 0, false
+	}
+	return float64(st.ElemMass[sym]) / float64(st.ElemCount[sym]), true
+}
+
+// predSurvival estimates the fraction of cands candidates that satisfy
+// predicate branch p, under the containment assumption: the branch's
+// matches sit beneath candidates (an emailaddress occurs inside a person),
+// so at most bottleneck-many candidates can have one, where the bottleneck
+// is the scarcest required step anywhere in the branch.
+func predSurvival(ctx *xdm.Node, cands float64, p *pattern.Step, streams streamFn) float64 {
+	min := -1
+	var scan func(*pattern.Step)
+	scan = func(c *pattern.Step) {
+		for ; c != nil; c = c.Next {
+			if stepRequiresStream(c) {
+				if n := streamLen(ctx, c, streams); min < 0 || n < min {
+					min = n
+				}
+			}
+			for _, q := range c.Preds {
+				scan(q)
+			}
+		}
+	}
+	scan(p)
+	if min == 0 {
+		return 0
+	}
+	if min < 0 || cands <= 0 || float64(min) >= cands {
+		return 1
+	}
+	return float64(min) / cands
 }
 
 // costNL bounds nested-loop evaluation by the context subtree size times
@@ -66,22 +258,32 @@ func costNL(ctx *xdm.Node, pat *pattern.Pattern) float64 {
 }
 
 // costSC sums the spine stream scans plus a per-candidate charge for each
-// predicate branch (the semi-join work that makes SCJoin degrade on
-// complex twigs).
-func costSC(ctx *xdm.Node, pat *pattern.Pattern, single bool, streams streamFn) (float64, bool) {
+// predicate branch — but the candidates charged are the model's estimated
+// survivors reaching that step, not the raw stream, so a selective upstream
+// step makes SCJoin's semi-joins cheap in the estimate exactly as it does
+// in the kernel.
+func costSC(ctx *xdm.Node, pat *pattern.Pattern, single bool, streams streamFn, steps []StepEstimate) (float64, bool) {
 	if !single || !scSupported(pat.Root) {
 		return 0, false
 	}
 	total := 0.0
+	i := 0
 	for s := pat.Root; s != nil; s = s.Next {
 		stream := float64(streamLen(ctx, s, streams))
 		total += stream
+		// Candidates that reach the predicate check: the stream narrowed by
+		// the upstream containment selectivity (never more than the stream).
+		cands := stream
+		if i < len(steps) && steps[i].Out < cands {
+			cands = steps[i].Out
+		}
 		for _, p := range s.Preds {
 			// Each candidate pays a binary-searched region probe per
 			// predicate step (cheap: the existential check usually decides
 			// on the first probe).
-			total += stream * float64(chainLen(p))
+			total += cands * float64(chainLen(p))
 		}
+		i++
 	}
 	return total, true
 }

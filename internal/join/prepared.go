@@ -1,6 +1,8 @@
 package join
 
 import (
+	"sort"
+
 	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
@@ -28,6 +30,7 @@ type Prepared struct {
 	twigOK    bool     // twig supports every edge/test
 	streamOK  bool     // streaming automaton supports the spine
 	childOnly bool     // spine has child/attribute/self steps only
+	empty     bool     // some required step's stream is empty document-wide
 
 	cols    *xdm.Cols                 // the document's region-encoding columns
 	spine   []cstep                   // compiled steps, spine order
@@ -47,6 +50,12 @@ type cstep struct {
 }
 
 // compileChain compiles a step chain (the spine or a predicate branch).
+// Each step's predicate branches are ordered smallest total stream first:
+// predicates are conjunctive existential checks (patterns cannot carry
+// outputs inside predicates), so their order is free, and checking the
+// scarcest branch first fail-fasts both the staircase semi-joins and the
+// twig stack's child-support probes. The pattern itself is never mutated —
+// only the compiled form is reordered.
 func compileChain(ix *xmlstore.Index, s *pattern.Step) []cstep {
 	var out []cstep
 	for c := s; c != nil; c = c.Next {
@@ -59,9 +68,27 @@ func compileChain(ix *xmlstore.Index, s *pattern.Step) []cstep {
 		for _, pr := range c.Preds {
 			cs.preds = append(cs.preds, compileChain(ix, pr))
 		}
+		if len(cs.preds) > 1 {
+			sort.SliceStable(cs.preds, func(i, j int) bool {
+				return chainStream(cs.preds[i]) < chainStream(cs.preds[j])
+			})
+		}
 		out = append(out, cs)
 	}
 	return out
+}
+
+// chainStream totals the stream lengths of a compiled chain (branch cost
+// proxy for the smallest-first ordering).
+func chainStream(chain []cstep) int {
+	n := 0
+	for i := range chain {
+		n += len(chain[i].stream)
+		for _, pr := range chain[i].preds {
+			n += chainStream(pr)
+		}
+	}
+	return n
 }
 
 // rankTest is a node test compiled against one document: the name resolved
@@ -130,6 +157,11 @@ func Prepare(alg Algorithm, ix *xmlstore.Index, pat *pattern.Pattern) (*Prepared
 			}
 		}
 		walk(pat.Root)
+		// The conjunctive emptiness proof: one required step with an empty
+		// document-wide stream means no binding can exist anywhere in this
+		// document, so the kernels never need to run (generalizes the
+		// corpus layer's name-presence skip to counts).
+		p.empty = provablyEmpty(pat.Root, p.stream)
 	}
 	return p, nil
 }
@@ -157,6 +189,12 @@ func (p *Prepared) materialize(ranks []int32) []*xdm.Node {
 // is fully general.
 func (p *Prepared) Eval(ctx *xdm.Node) []Binding {
 	alg := p.alg
+	if p.empty && alg != NestedLoop {
+		// Provably empty document-wide. Plain NestedLoop stays fully
+		// general (it is the differential oracle); every other algorithm —
+		// Auto included — takes the skip.
+		return nil
+	}
 	if alg == Auto {
 		alg = p.choose(ctx)
 	}
@@ -187,6 +225,9 @@ func (p *Prepared) Eval(ctx *xdm.Node) []Binding {
 // lexical first binding is also the document-order first.
 func (p *Prepared) EvalFirst(ctx *xdm.Node) (Binding, bool) {
 	alg := p.alg
+	if p.empty && alg != NestedLoop {
+		return nil, false
+	}
 	if alg == Auto && p.childOnly {
 		// First-match over a non-nesting spine: the §5.3 heuristic —
 		// always take the nested loop's cursor-style early exit.
@@ -204,5 +245,21 @@ func (p *Prepared) EvalFirst(ctx *xdm.Node) (Binding, bool) {
 
 // choose runs the cost model over the pre-resolved streams.
 func (p *Prepared) choose(ctx *xdm.Node) Algorithm {
-	return choose(ctx, p.pat, p.single, p.stream)
+	return estimate(p.ix, ctx, p.pat, p.single, p.stream).Alg
 }
+
+// Estimate runs the full cost model for ctx over the pre-resolved streams:
+// the algorithm Auto would pick, the per-algorithm costs, the emptiness
+// proof, and per-spine-step cardinality predictions. Requires an index
+// (Prepare with alg != NestedLoop); without one it returns a NestedLoop
+// estimate with no step data.
+func (p *Prepared) Estimate(ctx *xdm.Node) Estimate {
+	if p.streams == nil {
+		return Estimate{Alg: NestedLoop, CostNL: costNL(ctx, p.pat)}
+	}
+	return estimate(p.ix, ctx, p.pat, p.single, p.stream)
+}
+
+// ProvablyEmpty reports whether the prepared pattern can match nowhere in
+// its document (some required step's stream is empty).
+func (p *Prepared) ProvablyEmpty() bool { return p.empty }

@@ -1,0 +1,216 @@
+// Tree-pattern minimization: the classic TPQ-minimization line ("A Survey
+// of XML Tree Patterns"), restricted to rules whose safety follows from a
+// one-way homomorphism argument. A predicate branch G hanging off step s is
+// redundant when the structure that must match anyway — a sibling branch or
+// the spine continuation below s — implies it: if there is a homomorphism
+// from G into that required structure (child edges to child edges,
+// descendant edges to downward paths, each G test implied by the image's
+// test), then every match of the required structure witnesses a match of G,
+// so dropping G changes no binding. Minimization also erases vacuous
+// self::node() steps. Only downward axes (child, descendant, attribute)
+// participate; anything else is left untouched.
+package pattern
+
+import "xqtp/internal/xdm"
+
+// Minimize returns an equivalent pattern with redundant structure removed:
+// subsumed predicate branches dropped and vacuous self::node() steps
+// erased. The input is never mutated; when nothing can be removed the input
+// itself is returned, so callers can detect "already minimal" by pointer
+// equality.
+func Minimize(p *Pattern) *Pattern {
+	if p == nil || p.Root == nil {
+		return p
+	}
+	out := p.Clone()
+	changed := false
+	// The rules only ever shrink the pattern, so the fixpoint terminates in
+	// at most Size() rounds; in practice one or two.
+	for minimizeChain(&out.Root, true) {
+		changed = true
+	}
+	if !changed || out.Root == nil {
+		return p
+	}
+	return out
+}
+
+// minimizeChain applies one round of the rules to the chain at *pp (the
+// spine when spine is true, a predicate branch otherwise) and reports
+// whether anything changed. A predicate branch may minimize to nil (a
+// vacuous [self::node()] test); the spine keeps at least one step.
+func minimizeChain(pp **Step, spine bool) bool {
+	changed := false
+	// Vacuous self steps: self::node() binds the same node as its
+	// predecessor (or the context), so a step carrying no output and no
+	// predicates is erased, and one carrying predicates folds them into the
+	// predecessor. The chain's first step only drops when something follows
+	// it or the chain is a predicate branch.
+	for prev, s := (*Step)(nil), *pp; s != nil; {
+		vacuous := s.Axis == xdm.AxisSelf && s.Test.Kind == xdm.TestNode && s.Out == ""
+		if vacuous && prev != nil {
+			prev.Preds = append(prev.Preds, s.Preds...)
+			prev.Next = s.Next
+			s = s.Next
+			changed = true
+			continue
+		}
+		if vacuous && len(s.Preds) == 0 && (s.Next != nil || !spine) {
+			*pp = s.Next
+			s = s.Next
+			changed = true
+			continue
+		}
+		prev, s = s, s.Next
+	}
+	for s := *pp; s != nil; s = s.Next {
+		// Minimize inside each branch first, dropping branches that reduce
+		// to nothing.
+		kept := s.Preds[:0]
+		for _, p := range s.Preds {
+			for minimizeChain(&p, false) {
+				changed = true
+			}
+			if p != nil {
+				kept = append(kept, p)
+			} else {
+				changed = true
+			}
+		}
+		s.Preds = kept
+		// Subsumption: drop branch G when a surviving sibling branch or the
+		// chain continuation implies it. Branches carrying outputs are never
+		// dropped (they widen the binding, they don't just filter).
+		for i := 0; i < len(s.Preds); i++ {
+			g := s.Preds[i]
+			if hasOut(g) {
+				continue
+			}
+			implied := false
+			for j := range s.Preds {
+				if j != i && edgeMaps(g.Axis, g, s.Preds[j].Axis, s.Preds[j]) {
+					implied = true
+					break
+				}
+			}
+			if !implied && s.Next != nil && edgeMaps(g.Axis, g, s.Next.Axis, s.Next) {
+				implied = true
+			}
+			if implied {
+				s.Preds = append(s.Preds[:i], s.Preds[i+1:]...)
+				i--
+				changed = true
+			}
+		}
+	}
+	return changed
+}
+
+func hasOut(s *Step) bool {
+	for c := s; c != nil; c = c.Next {
+		if c.Out != "" {
+			return true
+		}
+		for _, p := range c.Preds {
+			if hasOut(p) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// testImplies reports whether every node satisfying spec also satisfies gen
+// (both on the same principal node kind).
+func testImplies(spec, gen xdm.NodeTest) bool {
+	switch gen.Kind {
+	case xdm.TestNode:
+		return true
+	case xdm.TestStar:
+		return spec.Kind == xdm.TestName || spec.Kind == xdm.TestStar
+	case xdm.TestText:
+		return spec.Kind == xdm.TestText
+	case xdm.TestName:
+		return spec.Kind == xdm.TestName && spec.Name == gen.Name
+	}
+	return false
+}
+
+// edgeMaps reports whether the edge (axG, g) — branch g reached from the
+// shared parent via axis axG — is implied by the required edge (axS, s):
+// every node with an (axS, s)-witness below it also has an (axG, g)-witness.
+func edgeMaps(axG xdm.Axis, g *Step, axS xdm.Axis, s *Step) bool {
+	switch axG {
+	case xdm.AxisChild:
+		return axS == xdm.AxisChild && nodeMaps(g, s)
+	case xdm.AxisAttribute:
+		// Attribute steps are leaves (attribute nodes have no children);
+		// bail out on any structure below g rather than reason about it.
+		return axS == xdm.AxisAttribute && g.Next == nil && len(g.Preds) == 0 &&
+			testImplies(s.Test, g.Test)
+	case xdm.AxisDescendant:
+		if axS != xdm.AxisChild && axS != xdm.AxisDescendant {
+			return false
+		}
+		return descMaps(g, s)
+	}
+	return false
+}
+
+// descMaps reports whether g (reached by a descendant edge) maps onto s or
+// onto anything reachable from s by a downward element path.
+func descMaps(g *Step, s *Step) bool {
+	if nodeMaps(g, s) {
+		return true
+	}
+	for _, e := range requiredEdges(s) {
+		if e.axis == xdm.AxisChild || e.axis == xdm.AxisDescendant {
+			if descMaps(g, e.head) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nodeMaps reports whether mapping g's root onto s's root extends to a full
+// homomorphism: s's test implies g's, and every edge out of g maps to some
+// required edge out of s.
+func nodeMaps(g *Step, s *Step) bool {
+	if !testImplies(s.Test, g.Test) {
+		return false
+	}
+	for _, ge := range requiredEdges(g) {
+		ok := false
+		for _, se := range requiredEdges(s) {
+			if edgeMaps(ge.axis, ge.head, se.axis, se.head) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+type edge struct {
+	axis xdm.Axis
+	head *Step
+}
+
+// requiredEdges lists the structure that must match below a step for the
+// step's own match to count: its predicate branches and its chain
+// continuation (a chain, spine or branch, matches only if it matches to the
+// end).
+func requiredEdges(s *Step) []edge {
+	out := make([]edge, 0, len(s.Preds)+1)
+	for _, p := range s.Preds {
+		out = append(out, edge{p.Axis, p})
+	}
+	if s.Next != nil {
+		out = append(out, edge{s.Next.Axis, s.Next})
+	}
+	return out
+}

@@ -7,40 +7,72 @@ import (
 	"xqtp/internal/xdm"
 )
 
-// RequiredNames returns names that must occur in a document for the plan to
-// produce a non-empty result there: if any returned name is absent from a
-// document's symbol table, running the plan with every binding (context item
-// and free variables) set to that document is guaranteed to yield the empty
-// sequence. A nil result means the analysis proved nothing and the caller
-// must evaluate every document.
+// RequiredStep is one name the plan requires of a document, annotated with
+// the node kind it must occur as: an attribute when the requiring step sits
+// on the attribute axis (where the name test matches attribute nodes only),
+// an element on every other axis (where the principal node kind is element).
+type RequiredStep struct {
+	Name string
+	Attr bool
+}
+
+// RequiredSteps returns the (name, kind) pairs that must occur in a
+// document for the plan to produce a non-empty result there: if any
+// returned name has no occurrence of the required kind — count it via the
+// document's per-symbol streams — running the plan with every binding
+// (context item and free variables) set to that document is guaranteed to
+// yield the empty sequence. A nil result means the analysis proved nothing
+// and the caller must evaluate every document.
 //
 // The claim rests on two facts. Tree patterns are conjunctive — every step
 // of the spine and of every predicate subtree must bind for any output tuple
-// to exist — so each name test in a pattern is required. And the operators
-// between a pattern and the plan root must preserve emptiness for the
-// requirement to propagate: tuple-stream operators (map, select, head,
-// tree-join) do, while function calls (count() of nothing is 0), constants,
-// comparisons and booleans do not, so their subtrees contribute no names.
+// to exist — so each name test in a pattern is required, as the kind its
+// axis's principal node kind dictates. And the operators between a pattern
+// and the plan root must preserve emptiness for the requirement to
+// propagate: tuple-stream operators (map, select, head, tree-join) do,
+// while function calls (count() of nothing is 0), constants, comparisons
+// and booleans do not, so their subtrees contribute no requirements.
 // Any fn:doc/fn:collection operator voids the whole analysis: it injects
 // nodes of other documents, against whose trees downstream patterns match.
-func (p *Plan) RequiredNames() []string {
+func (p *Plan) RequiredSteps() []RequiredStep {
 	p.reqOnce.Do(func() {
 		if p.usesDocs {
 			return
 		}
 		a := &analyzer{}
-		names := a.required(p.root)
-		if a.crossDoc || len(names) == 0 {
+		steps := a.required(p.root)
+		if a.crossDoc || len(steps) == 0 {
 			return
 		}
-		out := make([]string, 0, len(names))
-		for n := range names {
-			out = append(out, n)
+		out := make([]RequiredStep, 0, len(steps))
+		for s := range steps {
+			out = append(out, s)
 		}
-		sort.Strings(out)
-		p.reqNames = out
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Name != out[j].Name {
+				return out[i].Name < out[j].Name
+			}
+			return !out[i].Attr && out[j].Attr
+		})
+		p.reqSteps = out
 	})
-	return p.reqNames
+	return p.reqSteps
+}
+
+// RequiredNames returns RequiredSteps' names (deduplicated, sorted) — the
+// name-presence form of the emptiness requirement.
+func (p *Plan) RequiredNames() []string {
+	steps := p.RequiredSteps()
+	if len(steps) == 0 {
+		return nil
+	}
+	out := make([]string, 0, len(steps))
+	for _, s := range steps {
+		if len(out) == 0 || out[len(out)-1] != s.Name {
+			out = append(out, s.Name)
+		}
+	}
+	return out
 }
 
 type analyzer struct {
@@ -49,32 +81,32 @@ type analyzer struct {
 	crossDoc bool
 }
 
-// required returns the names whose absence forces o's result to be empty.
-// An empty map is the vacuous claim ("cannot prove emptiness from names"),
-// used for every operator that can produce output from nothing.
-func (a *analyzer) required(o op) map[string]struct{} {
+// required returns the required steps whose absence forces o's result to be
+// empty. An empty map is the vacuous claim ("cannot prove emptiness"), used
+// for every operator that can produce output from nothing.
+func (a *analyzer) required(o op) map[RequiredStep]struct{} {
 	switch x := o.(type) {
 	case *opDoc, *opCollection:
 		a.crossDoc = true
 		return nil
 
 	case *opTTP:
-		names := a.required(x.input)
-		if names == nil {
-			names = map[string]struct{}{}
+		steps := a.required(x.input)
+		if steps == nil {
+			steps = map[RequiredStep]struct{}{}
 		}
-		patternNames(x.pat.Root, names)
-		return names
+		patternSteps(x.pat.Root, steps)
+		return steps
 
 	case *opTreeJoin:
-		names := a.required(x.input)
+		steps := a.required(x.input)
 		if x.test.Kind == xdm.TestName {
-			if names == nil {
-				names = map[string]struct{}{}
+			if steps == nil {
+				steps = map[RequiredStep]struct{}{}
 			}
-			names[x.test.Name] = struct{}{}
+			steps[RequiredStep{Name: x.test.Name, Attr: x.axis == xdm.AxisAttribute}] = struct{}{}
 		}
-		return names
+		return steps
 
 	// Tuple-stream shells: empty input means empty output, so the input's
 	// requirement carries through. Their dependent expressions (dep, pred)
@@ -155,24 +187,25 @@ func (a *analyzer) required(o op) map[string]struct{} {
 // scan walks a subtree only for cross-document operators, discarding names.
 func (a *analyzer) scan(o op) { a.required(o) }
 
-// patternNames collects every name test in the step chain rooted at s —
-// spine and predicates alike, since all of them must bind.
-func patternNames(s *pattern.Step, into map[string]struct{}) {
+// patternSteps collects every name test in the step chain rooted at s —
+// spine and predicates alike, since all of them must bind — with the node
+// kind its axis requires.
+func patternSteps(s *pattern.Step, into map[RequiredStep]struct{}) {
 	for ; s != nil; s = s.Next {
 		if s.Test.Kind == xdm.TestName {
-			into[s.Test.Name] = struct{}{}
+			into[RequiredStep{Name: s.Test.Name, Attr: s.Axis == xdm.AxisAttribute}] = struct{}{}
 		}
 		for _, p := range s.Preds {
-			patternNames(p, into)
+			patternSteps(p, into)
 		}
 	}
 }
 
-func intersect(a, b map[string]struct{}) map[string]struct{} {
+func intersect(a, b map[RequiredStep]struct{}) map[RequiredStep]struct{} {
 	if len(a) == 0 || len(b) == 0 {
 		return nil
 	}
-	out := map[string]struct{}{}
+	out := map[RequiredStep]struct{}{}
 	for n := range a {
 		if _, ok := b[n]; ok {
 			out[n] = struct{}{}

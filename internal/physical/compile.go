@@ -6,6 +6,7 @@ import (
 	"xqtp/internal/algebra"
 	"xqtp/internal/funcs"
 	"xqtp/internal/join"
+	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
 )
 
@@ -330,12 +331,17 @@ func (c *compiler) compile(e algebra.Expr, en *env) (op, *env, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		o := &opTTP{p: c.p, input: in, pat: x.Pattern, alg: c.p.alg, inSlot: -1}
+		// Logical minimization runs once here, the choke point every entry
+		// path compiles through: subsumed predicate branches and vacuous
+		// self steps are gone before any algorithm sees the pattern.
+		pat := pattern.Minimize(x.Pattern)
+		o := &opTTP{p: c.p, input: in, pat: pat, alg: c.p.alg, inSlot: -1,
+			minimized: pat != x.Pattern}
 		if slot, ok := inEnv.lookup(x.Pattern.Input); ok {
 			o.inSlot = slot
 		}
 		outEnv := inEnv
-		for _, f := range x.Pattern.OutputFields() {
+		for _, f := range pat.OutputFields() {
 			slot := c.newSlot(f)
 			o.outSlots = append(o.outSlots, slot)
 			outEnv = outEnv.bind(f, slot)

@@ -93,6 +93,10 @@ type Runtime struct {
 	// serving path binds every free variable (and the context item) to the
 	// document node, so per-run setup is storing one field.
 	Root xdm.Sequence
+	// CountCards turns on the pattern operators' actual-cardinality
+	// counters (evaluations, emitted rows, emptiness skips per opTTP; read
+	// back via Plan.TTPStats). Off by default: the hot path pays nothing.
+	CountCards bool
 }
 
 // varBinding resolves variable slot i.
@@ -127,10 +131,10 @@ type Plan struct {
 	// and may reach nodes outside its root binding.
 	usesDocs bool
 
-	// reqOnce/reqNames memoize RequiredNames (the analysis is per-plan, not
+	// reqOnce/reqSteps memoize RequiredSteps (the analysis is per-plan, not
 	// per-run).
 	reqOnce  sync.Once
-	reqNames []string
+	reqSteps []RequiredStep
 }
 
 // UsesDocAccess reports whether the plan calls fn:doc or fn:collection, and
@@ -154,6 +158,50 @@ func (p *Plan) Patterns() []*pattern.Pattern {
 	out := make([]*pattern.Pattern, len(p.ttps))
 	for i, t := range p.ttps {
 		out[i] = t.pat
+	}
+	return out
+}
+
+// RootBoundPatterns reports, per pattern operator (lowering order, matching
+// Patterns), whether the operator's input tuples are built directly from a
+// free-variable binding — the document root under the uniform binding — so
+// document-rooted cardinality estimates and actuals are meaningful for it.
+// Downstream pattern operators (e.g. after a positional head) consume
+// derived bindings, and scoring them from the root would be nonsense.
+func (p *Plan) RootBoundPatterns() []bool {
+	out := make([]bool, len(p.ttps))
+	for i, t := range p.ttps {
+		if m, ok := t.input.(*opMapFromItem); ok {
+			if _, isVar := m.input.(*opVar); isVar {
+				out[i] = true
+			}
+		}
+	}
+	return out
+}
+
+// TTPStats is one pattern operator's accumulated actual cardinalities,
+// collected across every Run whose Runtime set CountCards.
+type TTPStats struct {
+	Pattern   *pattern.Pattern
+	Minimized bool  // lowering-time minimization changed the pattern
+	Evals     int64 // context nodes evaluated
+	Rows      int64 // bindings emitted (before dedup)
+	Skips     int64 // evaluations answered by the emptiness proof
+}
+
+// TTPStats returns the per-pattern-operator cardinality counters in
+// lowering order. Counters only advance under runtimes with CountCards set.
+func (p *Plan) TTPStats() []TTPStats {
+	out := make([]TTPStats, len(p.ttps))
+	for i, t := range p.ttps {
+		out[i] = TTPStats{
+			Pattern:   t.pat,
+			Minimized: t.minimized,
+			Evals:     t.actEvals.Load(),
+			Rows:      t.actRows.Load(),
+			Skips:     t.actSkips.Load(),
+		}
 	}
 	return out
 }

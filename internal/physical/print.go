@@ -13,6 +13,11 @@ import (
 // leaves the line unannotated.
 type ChoiceFn func(pat *pattern.Pattern) string
 
+// DetailFn returns extra lines to print beneath a pattern operator —
+// typically the per-step `est=N act=M` cardinality table for a concrete
+// document. Nil or an empty slice prints nothing.
+type DetailFn func(pat *pattern.Pattern) []string
+
 // Explain renders the physical plan: one operator per line with the slot
 // numbers every dependent reference was compiled to, and each pattern
 // operator's algorithm annotation.
@@ -22,6 +27,13 @@ func (p *Plan) Explain() string { return p.ExplainAnnotated(nil) }
 // annotation (e.g. the cost model's per-document decision) to every pattern
 // operator line.
 func (p *Plan) ExplainAnnotated(choice ChoiceFn) string {
+	return p.ExplainDetail(choice, nil)
+}
+
+// ExplainDetail renders the plan like ExplainAnnotated and additionally
+// prints detail's lines (per-step estimated vs actual cardinalities)
+// indented beneath every pattern operator.
+func (p *Plan) ExplainDetail(choice ChoiceFn, detail DetailFn) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "physical plan: %d slots", len(p.slotNames))
 	if len(p.slotNames) > 0 {
@@ -45,7 +57,7 @@ func (p *Plan) ExplainAnnotated(choice ChoiceFn) string {
 		b.WriteString("]")
 	}
 	fmt.Fprintf(&b, ", algorithm %s\n", p.alg)
-	p.write(&b, p.root, 0, choice)
+	p.write(&b, p.root, 0, choice, detail)
 	return b.String()
 }
 
@@ -55,7 +67,7 @@ func indent(b *strings.Builder, depth int) {
 	}
 }
 
-func (p *Plan) write(b *strings.Builder, o op, depth int, choice ChoiceFn) {
+func (p *Plan) write(b *strings.Builder, o op, depth int, choice ChoiceFn, detail DetailFn) {
 	indent(b, depth)
 	switch x := o.(type) {
 	case *opIn:
@@ -74,7 +86,7 @@ func (p *Plan) write(b *strings.Builder, o op, depth int, choice ChoiceFn) {
 		}
 	case *opTreeJoin:
 		fmt.Fprintf(b, "TreeJoin[%s::%s]\n", x.axis, x.test)
-		p.write(b, x.input, depth+1, choice)
+		p.write(b, x.input, depth+1, choice, detail)
 	case *opCall:
 		if x.bindErr != nil {
 			fmt.Fprintf(b, "fn:%s (error: %v)\n", x.name, x.bindErr)
@@ -82,53 +94,53 @@ func (p *Plan) write(b *strings.Builder, o op, depth int, choice ChoiceFn) {
 			fmt.Fprintf(b, "fn:%s\n", x.name)
 		}
 		for _, a := range x.args {
-			p.write(b, a, depth+1, choice)
+			p.write(b, a, depth+1, choice, detail)
 		}
 	case *opDoc:
 		b.WriteString("fn:doc\n")
-		p.write(b, x.uri, depth+1, choice)
+		p.write(b, x.uri, depth+1, choice, detail)
 	case *opCollection:
 		b.WriteString("fn:collection\n")
 		if x.name != nil {
-			p.write(b, x.name, depth+1, choice)
+			p.write(b, x.name, depth+1, choice, detail)
 		}
 	case *opCompare:
 		fmt.Fprintf(b, "Compare[%s]\n", x.cmp)
-		p.write(b, x.l, depth+1, choice)
-		p.write(b, x.r, depth+1, choice)
+		p.write(b, x.l, depth+1, choice, detail)
+		p.write(b, x.r, depth+1, choice, detail)
 	case *opArith:
 		fmt.Fprintf(b, "Arith[%s]\n", x.ar)
-		p.write(b, x.l, depth+1, choice)
-		p.write(b, x.r, depth+1, choice)
+		p.write(b, x.l, depth+1, choice, detail)
+		p.write(b, x.r, depth+1, choice, detail)
 	case *opAnd:
 		b.WriteString("And\n")
-		p.write(b, x.l, depth+1, choice)
-		p.write(b, x.r, depth+1, choice)
+		p.write(b, x.l, depth+1, choice, detail)
+		p.write(b, x.r, depth+1, choice, detail)
 	case *opOr:
 		b.WriteString("Or\n")
-		p.write(b, x.l, depth+1, choice)
-		p.write(b, x.r, depth+1, choice)
+		p.write(b, x.l, depth+1, choice, detail)
+		p.write(b, x.r, depth+1, choice, detail)
 	case *opIf:
 		b.WriteString("If\n")
-		p.write(b, x.cond, depth+1, choice)
-		p.write(b, x.then, depth+1, choice)
-		p.write(b, x.els, depth+1, choice)
+		p.write(b, x.cond, depth+1, choice, detail)
+		p.write(b, x.then, depth+1, choice, detail)
+		p.write(b, x.els, depth+1, choice, detail)
 	case *opSequence:
 		b.WriteString("Sequence\n")
 		for _, it := range x.items {
-			p.write(b, it, depth+1, choice)
+			p.write(b, it, depth+1, choice, detail)
 		}
 	case *opLet:
 		fmt.Fprintf(b, "LetBind[%s @%d]\n", p.slotNames[x.slot], x.slot)
-		p.write(b, x.value, depth+1, choice)
-		p.write(b, x.body, depth+1, choice)
+		p.write(b, x.value, depth+1, choice, detail)
+		p.write(b, x.body, depth+1, choice, detail)
 	case *opTypeSwitch:
 		b.WriteString("TypeSwitch\n")
-		p.write(b, x.input, depth+1, choice)
+		p.write(b, x.input, depth+1, choice, detail)
 		for _, cs := range x.cases {
 			indent(b, depth+1)
 			fmt.Fprintf(b, "case %s [%s @%d]\n", cs.typ, p.slotNames[cs.slot], cs.slot)
-			p.write(b, cs.body, depth+2, choice)
+			p.write(b, cs.body, depth+2, choice, detail)
 		}
 		indent(b, depth+1)
 		if x.defSlot >= 0 {
@@ -136,28 +148,28 @@ func (p *Plan) write(b *strings.Builder, o op, depth int, choice ChoiceFn) {
 		} else {
 			b.WriteString("default\n")
 		}
-		p.write(b, x.deflt, depth+2, choice)
+		p.write(b, x.deflt, depth+2, choice, detail)
 	case *opMapFromItem:
 		fmt.Fprintf(b, "MapFromItem[%s @%d]\n", p.slotNames[x.slot], x.slot)
-		p.write(b, x.input, depth+1, choice)
+		p.write(b, x.input, depth+1, choice, detail)
 	case *opMapToItem:
 		b.WriteString("MapToItem\n")
 		indent(b, depth+1)
 		b.WriteString("dep:\n")
-		p.write(b, x.dep, depth+2, choice)
-		p.write(b, x.input, depth+1, choice)
+		p.write(b, x.dep, depth+2, choice, detail)
+		p.write(b, x.input, depth+1, choice, detail)
 	case *opSelect:
 		b.WriteString("Select\n")
 		indent(b, depth+1)
 		b.WriteString("pred:\n")
-		p.write(b, x.pred, depth+2, choice)
-		p.write(b, x.input, depth+1, choice)
+		p.write(b, x.pred, depth+2, choice, detail)
+		p.write(b, x.input, depth+1, choice, detail)
 	case *opMapIndex:
 		fmt.Fprintf(b, "MapIndex[%s @%d]\n", p.slotNames[x.slot], x.slot)
-		p.write(b, x.input, depth+1, choice)
+		p.write(b, x.input, depth+1, choice, detail)
 	case *opHead:
 		b.WriteString("Head\n")
-		p.write(b, x.input, depth+1, choice)
+		p.write(b, x.input, depth+1, choice, detail)
 	case *opTTP:
 		fmt.Fprintf(b, "TupleTreePattern[%s]", x.pat)
 		if x.inSlot >= 0 {
@@ -182,11 +194,21 @@ func (p *Plan) write(b *strings.Builder, o op, depth int, choice ChoiceFn) {
 				fmt.Fprintf(b, "→%s", ann)
 			}
 		}
+		if x.minimized {
+			b.WriteString(" minimized")
+		}
 		if x.first {
 			b.WriteString(" first-match")
 		}
 		b.WriteString("\n")
-		p.write(b, x.input, depth+1, choice)
+		if detail != nil {
+			for _, line := range detail(x.pat) {
+				indent(b, depth+1)
+				b.WriteString(line)
+				b.WriteString("\n")
+			}
+		}
+		p.write(b, x.input, depth+1, choice, detail)
 	default:
 		fmt.Fprintf(b, "%T\n", o)
 	}

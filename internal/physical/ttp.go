@@ -35,11 +35,22 @@ type opTTP struct {
 	// lowering of Head(TupleTreePattern), which hands the nested-loop
 	// algorithm its cursor-style early exit (§5.3).
 	first bool
+	// minimized records that logical minimization changed the pattern at
+	// lowering time (explain annotation only).
+	minimized bool
 
 	// cache is the last (document, prepared join) this operator resolved;
 	// with one document — the serving case — every run after the first is a
 	// single pointer compare.
 	cache atomic.Pointer[ttpEntry]
+
+	// Actual-cardinality counters, maintained only when the Runtime sets
+	// CountCards: evaluations (context nodes evaluated), rows emitted, and
+	// evaluations skipped by the emptiness proof. They make the cost model's
+	// est=/act= regression visible without any cost on the default path.
+	actEvals atomic.Int64
+	actRows  atomic.Int64
+	actSkips atomic.Int64
 }
 
 type ttpEntry struct {
@@ -118,13 +129,21 @@ func (o *opTTP) eval(rt *Runtime, fr frame) (value, error) {
 		}
 		items[i].prep = lastPrep
 	}
+	if rt.CountCards {
+		o.actEvals.Add(int64(len(items)))
+		for i := range items {
+			if items[i].prep.ProvablyEmpty() {
+				o.actSkips.Add(1)
+			}
+		}
+	}
 	if o.first && len(items) == 1 {
 		b, found := items[0].prep.EvalFirst(items[0].ctx)
 		var rows []row
 		if found {
 			rows = append(rows, row{fr: items[0].fr, binding: b})
 		}
-		return o.output(rows)
+		return o.emit(rt, rows)
 	}
 	if len(items) == 1 {
 		// One context node (the common case after rewrites root the pattern
@@ -134,7 +153,7 @@ func (o *opTTP) eval(rt *Runtime, fr frame) (value, error) {
 		for i, b := range bs {
 			rows[i] = row{fr: items[0].fr, binding: b}
 		}
-		return o.output(rows)
+		return o.emit(rt, rows)
 	}
 	perItem := make([][]join.Binding, len(items))
 	if rt.Parallel > 1 && len(items) > 1 {
@@ -172,6 +191,15 @@ func (o *opTTP) eval(rt *Runtime, fr frame) (value, error) {
 		for _, b := range bs {
 			rows = append(rows, row{fr: items[i].fr, binding: b})
 		}
+	}
+	return o.emit(rt, rows)
+}
+
+// emit records the actual row cardinality when the runtime asks for it, then
+// hands off to output.
+func (o *opTTP) emit(rt *Runtime, rows []row) (value, error) {
+	if rt.CountCards {
+		o.actRows.Add(int64(len(rows)))
 	}
 	return o.output(rows)
 }

@@ -29,6 +29,8 @@ type Index struct {
 	allText   []int32
 	allNodes  []int32 // elements and texts merged by pre (node() stream)
 	allAttrs  []int32 // every attribute, by pre (attribute::* stream)
+
+	statsState // lazily built Stats snapshot (stats.go)
 }
 
 // BuildIndex scans the tree's kind/sym columns twice — once to size every

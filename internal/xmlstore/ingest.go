@@ -177,12 +177,24 @@ func ingest(data []byte, emitIndex bool) (*xdm.Tree, *Index, error) {
 // nodeHint estimates the node count of a document by counting its structural
 // bytes: every tag owns one '<' (start and end tags both, so elements and the
 // text runs between them are covered) and every attribute owns one '='. The
-// two vectorized Count passes are noise next to the scan itself, and the
-// estimate tracks the real node count within a few tens of percent for both
-// element-dense and data-heavy documents — where a bytes/16 guess missed by
-// 2-3x in either direction and paid for it in slab over-allocation.
+// '=' count alone is unreliable — '=' is an ordinary character inside text
+// and attribute values, so an equation-heavy document would inflate the hint
+// far past the real node count and the builder would pre-allocate slabs it
+// never fills. Attributes live only inside tags, and a tag of a well-formed
+// document holds at most a handful of them, so the '=' contribution is capped
+// at twice the tag count; beyond that the excess is provably text. The two
+// vectorized Count passes are noise next to the scan itself, and the capped
+// estimate tracks the real node count within a few tens of percent for
+// element-dense, data-heavy and '='-laden documents alike — where a bytes/16
+// guess missed by 2-3x in either direction and paid for it in slab
+// over-allocation.
 func nodeHint(data []byte) int {
-	return bytes.Count(data, []byte{'<'}) + bytes.Count(data, []byte{'='}) + 16
+	lt := bytes.Count(data, []byte{'<'})
+	eq := bytes.Count(data, []byte{'='})
+	if eq > 2*lt {
+		eq = 2 * lt
+	}
+	return lt + eq + 16
 }
 
 func (in *ingester) run() error {

@@ -1,0 +1,72 @@
+package xmlstore
+
+import (
+	"strings"
+	"testing"
+)
+
+// hintRatio parses doc and returns (hint, actual nodes, hint/actual).
+func hintRatio(t *testing.T, doc string) (int, int, float64) {
+	t.Helper()
+	data := []byte(doc)
+	hint := nodeHint(data)
+	tree, err := ParseBytes(data)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	actual := tree.CountNodes()
+	if actual == 0 {
+		t.Fatalf("document parsed to zero nodes")
+	}
+	return hint, actual, float64(hint) / float64(actual)
+}
+
+// TestNodeHintBounded pins the slab pre-allocation hint to the real node
+// count across document shapes. The '='-laden case is the regression: '=' is
+// an ordinary text character, so an uncapped '=' count once inflated the hint
+// (and the builder's slab capacity) by an unbounded factor on equation-heavy
+// text — the cap keeps the over-allocation bounded no matter how much text
+// the document carries.
+func TestNodeHintBounded(t *testing.T) {
+	// Small fixed slack absorbs the +16 constant on tiny documents.
+	const slack = 16.0
+
+	cases := []struct {
+		name string
+		doc  string
+		max  float64 // max allowed hint/actual beyond the slack
+	}{
+		{
+			name: "element-dense",
+			doc:  "<r>" + strings.Repeat("<a><b/><c/></a>", 200) + "</r>",
+			max:  1.5,
+		},
+		{
+			name: "attribute-heavy",
+			doc:  "<r>" + strings.Repeat(`<a x="1" y="2" z="3"/>`, 200) + "</r>",
+			max:  1.5,
+		},
+		{
+			// Text stuffed with '=': every byte of payload is an equals
+			// sign, but none of them is an attribute. Uncapped, the hint
+			// here is ~100x the node count.
+			name: "equals-laden-text",
+			doc:  "<r>" + strings.Repeat("<p>x=1; y=2; a==b; c=d=e=f=g</p>", 200) + "</r>",
+			max:  3.0,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			hint, actual, ratio := hintRatio(t, tc.doc)
+			if float64(hint) > tc.max*float64(actual)+slack {
+				t.Fatalf("hint %d over-allocates for %d nodes (ratio %.2f, max %.2f): slab pre-allocation would balloon",
+					hint, actual, ratio, tc.max)
+			}
+			// The hint must also not collapse: a drastic under-estimate
+			// forfeits the pre-allocation entirely.
+			if float64(hint) < 0.5*float64(actual) {
+				t.Fatalf("hint %d under-allocates for %d nodes (ratio %.2f)", hint, actual, ratio)
+			}
+		})
+	}
+}

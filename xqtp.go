@@ -451,9 +451,60 @@ func (q *Query) ExplainPhysical(alg Algorithm, doc *Document) (string, error) {
 	if doc == nil || alg != Auto {
 		return p.Explain(), nil
 	}
-	return p.ExplainAnnotated(func(pat *pattern.Pattern) string {
-		return join.Choose(doc.index, doc.tree.Root, pat).String()
-	}), nil
+	// Document-rooted annotations only make sense for pattern operators fed
+	// directly by the root binding; downstream operators (after a positional
+	// head, say) consume derived bindings and their per-document choice is
+	// made per context at run time.
+	rootBound := make(map[*pattern.Pattern]bool)
+	pats := p.Patterns()
+	for i, rb := range p.RootBoundPatterns() {
+		if rb {
+			rootBound[pats[i]] = true
+		}
+	}
+	choice := func(pat *pattern.Pattern) string {
+		if !rootBound[pat] {
+			return ""
+		}
+		est := join.ChooseEstimate(doc.index, doc.tree.Root, pat)
+		if est.Empty {
+			return "skip(empty)"
+		}
+		return est.Alg.String()
+	}
+	// The detail lines put the cost model on trial: per spine step, the
+	// model's predicted cardinality next to the exact count from evaluating
+	// the corresponding pattern prefix.
+	detail := func(pat *pattern.Pattern) []string {
+		if !rootBound[pat] {
+			return nil
+		}
+		est := join.ChooseEstimate(doc.index, doc.tree.Root, pat)
+		acts := join.StepActuals(doc.index, doc.tree.Root, pat)
+		lines := make([]string, 0, len(est.Steps))
+		for i, se := range est.Steps {
+			act := -1
+			if i < len(acts) {
+				act = acts[i]
+			}
+			lines = append(lines, fmt.Sprintf("step %s est=%s act=%d",
+				se.Step.StepString(), formatEst(se.Out), act))
+		}
+		return lines
+	}
+	return p.ExplainDetail(choice, detail), nil
+}
+
+// formatEst renders a cardinality estimate compactly: whole numbers without
+// a fraction, small fractional estimates with two decimals.
+func formatEst(v float64) string {
+	if v == float64(int64(v)) {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v < 10 {
+		return fmt.Sprintf("%.2f", v)
+	}
+	return fmt.Sprintf("%.0f", v)
 }
 
 func indentLines(s string) string {
