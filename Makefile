@@ -15,8 +15,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+	$(GO) vet -tags race ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck -checks SA ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; fi
 
 test:
 	$(GO) test ./...
@@ -35,12 +40,14 @@ serve:
 	$(GO) test -bench Serve -benchmem -cpu 1,4 .
 
 # Quick benchmark smoke: re-measure Table 1 at reduced scale and diff it
-# against the committed quick-scale baseline. Report-only (the leading `-`
-# ignores the diff's exit status): it surfaces drift without gating on the
-# noise of shared CI machines.
+# against the committed quick-scale baseline. The gating row fails when the
+# SC/TJ cells' median ns/op regressed more than 2% — the bound the
+# cancellation checkpoints must stay under; the remaining diffs are
+# report-only (the leading `-` ignores their exit status), surfacing drift
+# without gating on per-cell noise of shared CI machines.
 bench-smoke:
 	$(GO) run ./cmd/treebench -exp table1 -quick -json /tmp/bench_table1_quick.json
-	-$(GO) run ./cmd/benchdiff BENCH_table1_quick.json /tmp/bench_table1_quick.json
+	$(GO) run ./cmd/benchdiff -gate-ns 2 -gate-algs SC,TJ BENCH_table1_quick.json /tmp/bench_table1_quick.json
 	$(GO) run ./cmd/treebench -exp ingest -quick -json /tmp/bench_ingest_quick.json
 	-$(GO) run ./cmd/benchdiff BENCH_ingest_quick.json /tmp/bench_ingest_quick.json
 	$(GO) run ./cmd/treebench -exp collection -quick -json /tmp/bench_collection_quick.json

@@ -6,12 +6,17 @@
 // Usage:
 //
 //	benchdiff OLD.json NEW.json
+//	benchdiff -gate-ns 2 -gate-algs SC,TJ OLD.json NEW.json   # fail if the
+//	    median ns/op ratio over the named table1 algorithms regressed > 2%
 package main
 
 import (
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
+	"sort"
+	"strings"
 
 	"xqtp"
 )
@@ -185,18 +190,76 @@ func diffOptimizer(old, new []xqtp.OptimizerCell) {
 	}
 }
 
+// gateTable1 computes the median new/old ns/op ratio over the table1 cells
+// whose algorithm is in algs (empty: every cell), and fails when the median
+// regressed by more than pct percent. The median — not the mean or the max —
+// keeps one noisy cell from failing a run while still catching a systematic
+// slowdown across the matrix.
+func gateTable1(old, new []xqtp.Table1Cell, pct float64, algs map[string]bool) error {
+	type key struct {
+		query, alg string
+		bytes      int
+	}
+	prev := make(map[key]xqtp.Table1Cell, len(old))
+	for _, c := range old {
+		prev[key{c.Query, c.Algorithm, c.DocumentBytes}] = c
+	}
+	var ratios []float64
+	for _, c := range new {
+		if len(algs) > 0 && !algs[strings.ToUpper(c.Algorithm)] {
+			continue
+		}
+		o, ok := prev[key{c.Query, c.Algorithm, c.DocumentBytes}]
+		if !ok || o.NsPerOp == 0 {
+			continue
+		}
+		ratios = append(ratios, c.NsPerOp/o.NsPerOp)
+	}
+	if len(ratios) == 0 {
+		return fmt.Errorf("gate: no comparable table1 cells for the selected algorithms")
+	}
+	sort.Float64s(ratios)
+	median := ratios[len(ratios)/2]
+	if len(ratios)%2 == 0 {
+		median = (ratios[len(ratios)/2-1] + ratios[len(ratios)/2]) / 2
+	}
+	fmt.Printf("\ngate: median ns/op ratio %.4f over %d cells (threshold %.4f)\n",
+		median, len(ratios), 1+pct/100)
+	if median > 1+pct/100 {
+		return fmt.Errorf("gate: median ns/op regressed %.1f%% (> %.1f%% allowed)",
+			(median-1)*100, pct)
+	}
+	return nil
+}
+
 func main() {
-	if len(os.Args) != 3 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff OLD.json NEW.json")
+	gateNs := flag.Float64("gate-ns", 0, "fail when the median table1 ns/op regression exceeds this percentage (0: report only)")
+	gateAlgs := flag.String("gate-algs", "", "comma-separated algorithm labels the gate considers (e.g. SC,TJ; empty: all)")
+	flag.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-gate-ns PCT [-gate-algs SC,TJ]] OLD.json NEW.json")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
 		os.Exit(2)
 	}
-	oldR, err := load(os.Args[1])
+	algs := map[string]bool{}
+	for _, a := range strings.Split(*gateAlgs, ",") {
+		if a = strings.ToUpper(strings.TrimSpace(a)); a != "" {
+			algs[a] = true
+		}
+	}
+	oldR, err := load(flag.Arg(0))
 	if err == nil {
 		var newR report
-		if newR, err = load(os.Args[2]); err == nil {
+		if newR, err = load(flag.Arg(1)); err == nil {
 			switch {
 			case len(oldR.Cells) > 0 && len(newR.Cells) > 0:
 				diffTable1(oldR.Cells, newR.Cells)
+				if *gateNs > 0 {
+					err = gateTable1(oldR.Cells, newR.Cells, *gateNs, algs)
+				}
 			case len(oldR.Results) > 0 && len(newR.Results) > 0:
 				diffServe(oldR.Results, newR.Results)
 			case len(oldR.IngestCells) > 0 && len(newR.IngestCells) > 0:
@@ -207,6 +270,9 @@ func main() {
 				diffOptimizer(oldR.OptimizerCells, newR.OptimizerCells)
 			default:
 				err = fmt.Errorf("reports are of different kinds")
+			}
+			if err == nil && *gateNs > 0 && len(oldR.Cells) == 0 {
+				err = fmt.Errorf("-gate-ns only applies to table1 reports")
 			}
 		}
 	}

@@ -16,11 +16,15 @@ package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"xqtp"
 )
@@ -49,12 +53,19 @@ func main() {
 		}
 	}
 
+	// An interrupt abandons the sweep at the next between-cell checkpoint
+	// instead of grinding through the remaining measurements; a second
+	// interrupt (after ctx is done) kills the process the usual way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	opts := xqtp.DefaultExperimentOptions()
 	if *quick {
 		opts = xqtp.QuickExperimentOptions()
 	}
 	opts.Seed = *seed
 	opts.Repeats = *repeats
+	opts.Context = ctx
 	if *algsFlag != "" {
 		for _, part := range strings.Split(*algsFlag, ",") {
 			alg, err := xqtp.ParseAlgorithm(strings.TrimSpace(part))
@@ -97,6 +108,10 @@ func main() {
 	}
 	if err != nil {
 		w.Flush()
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "treebench: interrupted")
+			os.Exit(130)
+		}
 		fmt.Fprintln(os.Stderr, "treebench:", err)
 		os.Exit(1)
 	}

@@ -5,6 +5,7 @@
 //
 //	xq -query '$d//person[emailaddress]/name' -file doc.xml [-alg nl|sc|twig|auto] [-serialize]
 //	xq -query '$d//person/name' -file doc.xml -alg auto -explain   # physical plan + cost-model choice
+//	xq -query '$d//item/name' -file big.xml -timeout 2s -limit 100 # bounded run: wall clock + row budget
 //	echo '<a><b/></a>' | xq -query '$d/a/b'
 //
 // Collections: naming several inputs (positional files, repeated use of the
@@ -26,6 +27,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -50,6 +53,8 @@ func main() {
 		serialize = flag.Bool("serialize", false, "serialize node results as XML")
 		noTP      = flag.Bool("no-tree-patterns", false, "disable tree-pattern detection (standard engine)")
 		explain   = flag.Bool("explain", false, "print the physical plan (with the per-pattern cost-model choice under -alg auto) before the results")
+		timeout   = flag.Duration("timeout", 0, "abort the query after this wall-clock time (0: no limit)")
+		limit     = flag.Int64("limit", 0, "stop after this many result items, in document order (0: no limit)")
 	)
 	flag.Parse()
 	if *query == "" && *saveSnap == "" {
@@ -124,6 +129,8 @@ func main() {
 		}
 	}
 
+	runOpts := xqtp.RunOptions{Workers: *workers, Timeout: *timeout, MaxRows: *limit}
+
 	if doc == nil {
 		if *explain {
 			phys, err := q.ExplainPhysical(alg, nil)
@@ -132,8 +139,8 @@ func main() {
 			}
 			fmt.Print(phys)
 		}
-		items, err := corpus.RunParallel(q, alg, *workers)
-		if err != nil {
+		items, _, err := corpus.RunWith(context.Background(), q, alg, runOpts)
+		if err != nil && !limitReached(err, *limit) {
 			fatal(err)
 		}
 		for _, it := range items {
@@ -150,13 +157,20 @@ func main() {
 		}
 		fmt.Print(phys)
 	}
-	items, err := q.RunParallel(doc, alg, *workers)
-	if err != nil {
+	items, _, err := q.RunWith(context.Background(), doc, alg, runOpts)
+	if err != nil && !limitReached(err, *limit) {
 		fatal(err)
 	}
 	for _, it := range items {
 		print(uri, it)
 	}
+}
+
+// limitReached reports whether err is the expected budget stop of an
+// explicit -limit (printing the collected prefix is then the point, not a
+// failure).
+func limitReached(err error, limit int64) bool {
+	return limit > 0 && errors.Is(err, xqtp.ErrBudgetExceeded)
 }
 
 // inputPaths merges the -file flag, positional arguments, and -dir scan into

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ func main() {
 	algName := flag.String("alg", "sc", "algorithm of the physical phase: nl, sc, twig, auto, stream")
 	file := flag.String("file", "", "XML document to evaluate the -alg auto cost model against")
 	dir := flag.String("dir", "", "directory of *.xml files: render the -alg auto choice per member")
+	timeout := flag.Duration("timeout", 0, "abort the document-annotated explain after this wall-clock time (the act= columns evaluate the query; 0: no limit)")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: xqplan [-trace] [-alg nl|sc|twig|auto] [-file doc.xml | -dir corpus/] <query>")
@@ -51,6 +53,13 @@ func main() {
 	}
 	fmt.Println(q.Explain())
 
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	var doc *xqtp.Document
 	if *file != "" {
 		doc, err = loadFile(*file)
@@ -62,7 +71,7 @@ func main() {
 		// Explain's physical phase shows the Staircase plan; render the
 		// requested algorithm's phase (annotated when a document is given)
 		// in addition.
-		phys, err := q.ExplainPhysical(alg, doc)
+		phys, err := q.ExplainPhysicalCtx(ctx, alg, doc)
 		if err != nil {
 			fatal(err)
 		}
@@ -83,7 +92,7 @@ func main() {
 		}
 		fmt.Printf("\nPer-member plans (%s, %d members):\n", alg, corpus.Len())
 		for i, uri := range corpus.URIs() {
-			phys, err := q.ExplainPhysical(alg, corpus.DocumentAt(i))
+			phys, err := q.ExplainPhysicalCtx(ctx, alg, corpus.DocumentAt(i))
 			if err != nil {
 				fatal(err)
 			}

@@ -1,12 +1,14 @@
 package xqtp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
 	"sync/atomic"
 
 	"xqtp/internal/collection"
+	"xqtp/internal/execctx"
 	"xqtp/internal/physical"
 	"xqtp/internal/xdm"
 )
@@ -180,10 +182,66 @@ type RunStats struct {
 // RunParallelStats is RunParallel, additionally reporting how many members
 // the count-based emptiness proof skipped.
 func (c *Corpus) RunParallelStats(q *Query, alg Algorithm, workers int) (Sequence, RunStats, error) {
+	var col execctx.Collector
+	stats, err := c.runCore(nil, q, alg, workers, &col)
+	if err != nil {
+		return nil, stats, err
+	}
+	return col.Seq, stats, nil
+}
+
+// RunParallelCtx is RunParallel under a context: the fan-out stops admitting
+// members and the kernels cut in-flight evaluations short once ctx is done,
+// returning ErrCanceled. workers <= 0 means one worker per available CPU.
+func (c *Corpus) RunParallelCtx(ctx context.Context, q *Query, alg Algorithm, workers int) (Sequence, error) {
+	seq, _, err := c.RunWith(ctx, q, alg, RunOptions{Workers: workers})
+	return seq, err
+}
+
+// RunWith evaluates the query against the corpus under a context with
+// deadlines, budgets, and streaming delivery. Member results flow to
+// opts.Sink in corpus order as the merge admits them (a nil Sink collects
+// into the returned Sequence). Budgets are charged at the merge point, so a
+// stopped run's delivered items are exactly the first rows of the full
+// corpus-order result; in-flight member evaluations past the stop are cut
+// short and discarded. opts.Workers <= 0 means one worker per available CPU.
+func (c *Corpus) RunWith(ctx context.Context, q *Query, alg Algorithm, opts RunOptions) (Sequence, RunInfo, error) {
+	ctx, cancel := opts.context(ctx)
+	defer cancel()
+	ec := execctx.From(ctx, opts.MaxRows, opts.MaxBytes)
+	sink := opts.Sink
+	var col *execctx.Collector
+	if sink == nil {
+		col = &execctx.Collector{}
+		sink = col
+	}
+	stats, err := c.runCore(ec, q, alg, opts.Workers, sink)
+	info := RunInfo{
+		Rows:    ec.Rows(),
+		Bytes:   ec.Bytes(),
+		Members: stats.Members,
+		Skipped: stats.Skipped,
+	}
+	var seq Sequence
+	if col != nil {
+		seq = col.Seq
+	}
+	return seq, info, err
+}
+
+// runCore is the single evaluation path behind every corpus run shape: it
+// compiles the plan, picks the corpus-wide or fan-out strategy, and streams
+// result items to sink under the execution context. Member evaluations run
+// under a cancel-only view of ec — they observe the stop but never charge
+// the budgets; the merge charges each delivered item in corpus order, so
+// budget cutoffs land on the exact corpus-order prefix regardless of how
+// the worker pool interleaved.
+func (c *Corpus) runCore(ec *execctx.Ctx, q *Query, alg Algorithm, workers int, sink execctx.Sink) (RunStats, error) {
+	workers = normalizeWorkers(workers)
 	stats := RunStats{Members: c.c.Len()}
 	p, err := q.physicalPlan(alg)
 	if err != nil {
-		return nil, stats, err
+		return stats, err
 	}
 	if p.UsesDocAccess() {
 		rt := &physical.Runtime{
@@ -191,9 +249,9 @@ func (c *Corpus) RunParallelStats(q *Query, alg Algorithm, workers int) (Sequenc
 			Preps:    q.preps,
 			Parallel: workers,
 			Docs:     c.c,
+			EC:       ec,
 		}
-		seq, err := p.Run(rt)
-		return seq, stats, err
+		return stats, p.RunSink(rt, sink)
 	}
 	var skip func(int) bool
 	var skipped atomic.Int64
@@ -229,17 +287,21 @@ func (c *Corpus) RunParallelStats(q *Query, alg Algorithm, workers int) (Sequenc
 			return false
 		}
 	}
-	seq, err := c.c.RunAll(workers, skip, func(d *collection.Doc) (Sequence, error) {
+	memberEC := ec.CancelOnly()
+	err = c.c.RunAllCtx(ec, workers, skip, func(d *collection.Doc) (Sequence, error) {
 		rt := &physical.Runtime{
 			Catalog: c.c.Catalog(),
 			Preps:   q.preps,
 			Docs:    c.c,
 			Root:    xdm.Singleton(d.Root()),
+			EC:      memberEC,
 		}
 		return p.Run(rt)
+	}, func(seq Sequence) error {
+		return execctx.Deliver(ec, sink, seq)
 	})
 	stats.Skipped = int(skipped.Load())
-	return seq, stats, err
+	return stats, err
 }
 
 // URIOf attributes a result item back to the member document holding it

@@ -1,6 +1,7 @@
 package xqtp
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -35,6 +36,21 @@ type ExperimentOptions struct {
 	// experiments (nil: the paper's NL, TJ, SC columns). Auto is a valid
 	// entry, measuring the cost-based per-pattern choice.
 	Algorithms []Algorithm
+	// Context, when non-nil, lets the caller abandon a sweep: the drivers
+	// check it between measurements and return its error once it is done.
+	// The measured operations themselves run without an execution context,
+	// so every cell stays comparable to baselines recorded before
+	// cancellation existed.
+	Context context.Context
+}
+
+// checkpoint returns the options context's error, checked by the experiment
+// drivers between measurements (never inside a timed region).
+func (o ExperimentOptions) checkpoint() error {
+	if o.Context == nil {
+		return nil
+	}
+	return o.Context.Err()
 }
 
 // experimentAlgorithms resolves the per-cell algorithm list.
@@ -153,6 +169,9 @@ func RunTable1(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 		for ai, alg := range algs {
 			cells[ai] = make([]time.Duration, len(docs))
 			for di, doc := range docs {
+				if err := opts.checkpoint(); err != nil {
+					return err
+				}
 				d, allocs, bytes, err := measureQuery(q, doc, alg, opts.Repeats)
 				if err != nil {
 					return fmt.Errorf("%s/%v: %w", pq.Name, alg, err)
@@ -241,6 +260,9 @@ func RunFigure4(w io.Writer, opts ExperimentOptions) error {
 	fmt.Fprintf(w, "%-12s %-10s %-12s %-12s %-12s %-12s\n",
 		"people", "size", "no-rewrite", "TTP(NL)", "TTP(TJ)", "TTP(SC)")
 	for i, people := range opts.Fig4People {
+		if err := opts.checkpoint(); err != nil {
+			return err
+		}
 		doc := NewXMarkDocument(opts.Seed+int64(i), people)
 		told, err := timeQuery(oldQ, doc, NestedLoop, opts.Repeats)
 		if err != nil {
@@ -277,6 +299,9 @@ func RunFigure6(w io.Writer, opts ExperimentOptions) error {
 			label string
 			src   string
 		}{{"child", pair.Child}, {"desc", pair.Descendant}} {
+			if err := opts.checkpoint(); err != nil {
+				return err
+			}
 			q, err := PrepareCached(form.src)
 			if err != nil {
 				return fmt.Errorf("%s: %w", pair.Name, err)
@@ -314,6 +339,9 @@ func RunSection53(w io.Writer, opts ExperimentOptions) error {
 	for _, alg := range []Algorithm{NestedLoop, Twig, Staircase} {
 		fmt.Fprintf(w, "%-10s", alg.String())
 		for _, k := range ks {
+			if err := opts.checkpoint(); err != nil {
+				return err
+			}
 			q, err := PrepareCached(Section53Query(k))
 			if err != nil {
 				return err

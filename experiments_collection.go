@@ -113,6 +113,9 @@ func RunCollection(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 			totalBytes += len(s.Data)
 		}
 		for _, workers := range workerCounts {
+			if err := opts.checkpoint(); err != nil {
+				return err
+			}
 			workers := workers
 			var corpus *Corpus
 			op := func() (int, error) {
@@ -228,6 +231,9 @@ func RunCollection(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 				return fmt.Errorf("%s: %w", pq.Name, err)
 			}
 			for _, workers := range workerCounts {
+				if err := opts.checkpoint(); err != nil {
+					return err
+				}
 				items, skipped := 0, 0
 				op := func() (int, error) {
 					seq, rs, err := corpus.RunParallelStats(q, Auto, workers)

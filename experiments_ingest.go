@@ -154,6 +154,9 @@ func RunIngest(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 			}},
 		}
 		for _, s := range sides {
+			if err := opts.checkpoint(); err != nil {
+				return err
+			}
 			d, allocs, bytesPerOp, nodes, err := measureIngest(s.op, opts.Repeats)
 			if err != nil {
 				return fmt.Errorf("%s/%s: %w", doc.name, s.name, err)

@@ -131,6 +131,9 @@ func RunOptimizer(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 		"query", "doc", "step", "est", "act", "q-err")
 	for _, wd := range docs {
 		for _, pq := range wd.qs {
+			if err := opts.checkpoint(); err != nil {
+				return err
+			}
 			q, err := PrepareCached(pq.Query)
 			if err != nil {
 				return fmt.Errorf("%s: %w", pq.Name, err)
@@ -157,6 +160,9 @@ func RunOptimizer(w io.Writer, opts ExperimentOptions, jsonPath string) error {
 			return err
 		}
 		for _, pq := range collectionQueries {
+			if err := opts.checkpoint(); err != nil {
+				return err
+			}
 			q, err := Prepare(pq.Query)
 			if err != nil {
 				return fmt.Errorf("%s: %w", pq.Name, err)

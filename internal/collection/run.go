@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"xqtp/internal/execctx"
 	"xqtp/internal/xdm"
 )
 
@@ -12,34 +13,67 @@ import (
 // returns the concatenation of the per-document results in corpus order.
 // skip, when non-nil, elides members without evaluating them (the caller's
 // name-table pruning hook); a skipped member contributes the empty sequence.
+// RunAll is RunAllCtx without an execution context, collecting the emitted
+// sequences.
+func (c *Corpus) RunAll(workers int, skip func(doc int) bool, eval func(d *Doc) (xdm.Sequence, error)) (xdm.Sequence, error) {
+	var out xdm.Sequence
+	err := c.RunAllCtx(nil, workers, skip, eval, func(seq xdm.Sequence) error {
+		out = append(out, seq...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RunAllCtx evaluates eval against every member on a pool of workers,
+// handing each member's result to emit in corpus order.
 //
 // Results stream back through a channel bounded at the worker count, and the
 // merger holds out-of-order arrivals in a pending buffer until their corpus
-// position comes up — so the output order is the corpus order no matter how
-// the pool interleaves, and at most workers+len(pending) document results
-// are in flight at once. The first failure (earliest corpus position among
-// the documents that evaluated) cancels the remaining work.
-func (c *Corpus) RunAll(workers int, skip func(doc int) bool, eval func(d *Doc) (xdm.Sequence, error)) (xdm.Sequence, error) {
+// position comes up — so emit sees the corpus order no matter how the pool
+// interleaves, and at most workers+len(pending) document results are in
+// flight at once. The first failure (earliest corpus position among the
+// documents that evaluated) cancels the remaining work.
+//
+// The execution context governs the fan-out's lifetime: once ec stops
+// (cancellation, or a budget spent by emit's Deliver), workers admit no new
+// member, in-flight members are cut short by the kernels' own checkpoints,
+// and their abort errors are recognized as stop fallout rather than member
+// failures. The merger always drains the channel to its close, so a
+// canceled run leaks no goroutine; the function then returns ec.Err(). An
+// emit error (budget exhaustion, a sink refusing an item) likewise stops
+// admission, and the sequences already emitted are exactly the corpus-order
+// prefix — emit is only ever called from the merger, in order.
+func (c *Corpus) RunAllCtx(ec *execctx.Ctx, workers int, skip func(doc int) bool, eval func(d *Doc) (xdm.Sequence, error), emit func(seq xdm.Sequence) error) error {
 	n := len(c.docs)
 	if n == 0 {
-		return nil, nil
+		return ec.Err()
 	}
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
-		var out xdm.Sequence
 		for i, d := range c.docs {
+			if err := ec.Err(); err != nil {
+				return err
+			}
 			if skip != nil && skip(i) {
 				continue
 			}
 			seq, err := eval(d)
 			if err != nil {
-				return nil, fmt.Errorf("collection: %s: %w", d.URI, err)
+				if stopErr := ec.Err(); stopErr != nil {
+					return stopErr
+				}
+				return fmt.Errorf("collection: %s: %w", d.URI, err)
 			}
-			out = append(out, seq...)
+			if err := emit(seq); err != nil {
+				return err
+			}
 		}
-		return out, nil
+		return ec.Err()
 	}
 
 	type docResult struct {
@@ -57,7 +91,7 @@ func (c *Corpus) RunAll(workers int, skip func(doc int) bool, eval func(d *Doc) 
 			defer wg.Done()
 			for {
 				pos := int(next.Add(1)) - 1
-				if pos >= n || failed.Load() {
+				if pos >= n || failed.Load() || ec.Stopped() {
 					return
 				}
 				if skip != nil && skip(pos) {
@@ -77,27 +111,33 @@ func (c *Corpus) RunAll(workers int, skip func(doc int) bool, eval func(d *Doc) 
 		close(results)
 	}()
 
-	var out xdm.Sequence
 	pending := make(map[int]xdm.Sequence, workers)
 	nextOut := 0
-	var firstErr error
+	var firstErr, emitErr error
 	errPos := n
 	for r := range results {
 		if r.err != nil {
+			if ec.Stopped() {
+				// The stop cut this member short; its abort error is the
+				// run-level stop, not a member failure.
+				continue
+			}
 			if r.pos < errPos {
 				errPos = r.pos
 				firstErr = fmt.Errorf("collection: %s: %w", c.docs[r.pos].URI, r.err)
 			}
 			continue
 		}
-		if firstErr != nil {
-			continue // drain; the merged prefix no longer matters
+		if firstErr != nil || emitErr != nil || ec.Stopped() {
+			continue // drain; the merged prefix is already settled
 		}
 		if r.pos != nextOut {
 			pending[r.pos] = r.seq
 			continue
 		}
-		out = append(out, r.seq...)
+		if emitErr = emit(r.seq); emitErr != nil {
+			continue
+		}
 		nextOut++
 		for {
 			seq, ok := pending[nextOut]
@@ -105,12 +145,17 @@ func (c *Corpus) RunAll(workers int, skip func(doc int) bool, eval func(d *Doc) 
 				break
 			}
 			delete(pending, nextOut)
-			out = append(out, seq...)
+			if emitErr = emit(seq); emitErr != nil {
+				break
+			}
 			nextOut++
 		}
 	}
 	if firstErr != nil {
-		return nil, firstErr
+		return firstErr
 	}
-	return out, nil
+	if emitErr != nil {
+		return emitErr
+	}
+	return ec.Err()
 }

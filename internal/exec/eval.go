@@ -6,9 +6,11 @@
 package exec
 
 import (
+	"context"
 	"sync"
 
 	"xqtp/internal/algebra"
+	"xqtp/internal/execctx"
 	"xqtp/internal/join"
 	"xqtp/internal/physical"
 	"xqtp/internal/xdm"
@@ -80,6 +82,14 @@ func (en *Engine) planFor(plan algebra.Expr) (*physical.Plan, error) {
 
 // Run evaluates a plan to an item sequence.
 func (en *Engine) Run(plan algebra.Expr) (xdm.Sequence, error) {
+	return en.RunCtx(context.Background(), plan)
+}
+
+// RunCtx evaluates a plan to an item sequence under a context: the physical
+// operators and join kernels poll ctx at bounded intervals and abort with
+// the typed execctx error once it is done. A background context makes RunCtx
+// exactly Run.
+func (en *Engine) RunCtx(ctx context.Context, plan algebra.Expr) (xdm.Sequence, error) {
 	p, err := en.planFor(plan)
 	if err != nil {
 		return nil, err
@@ -88,6 +98,7 @@ func (en *Engine) Run(plan algebra.Expr) (xdm.Sequence, error) {
 		Catalog:  en.Catalog,
 		Parallel: en.Parallel,
 		Vars:     p.BindVars(en.Vars),
+		EC:       execctx.From(ctx, 0, 0),
 	}
 	if en.Preps != nil {
 		// The nil check matters: assigning a nil *PrepCache directly would

@@ -1,6 +1,7 @@
 package join
 
 import (
+	"xqtp/internal/execctx"
 	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
@@ -12,9 +13,19 @@ import (
 // model's est=. This is an observability path, not a hot path: it runs one
 // full evaluation per spine step.
 func StepActuals(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) []int {
+	return StepActualsCtx(nil, ix, ctx, pat)
+}
+
+// StepActualsCtx is StepActuals under an execution context: the per-prefix
+// evaluations poll ec, and a stop cuts the walk short, returning the
+// actuals computed so far (callers surface ec.Err()).
+func StepActualsCtx(ec *execctx.Ctx, ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) []int {
 	n := pat.SpineLen()
 	out := make([]int, 0, n)
 	for i := 0; i < n; i++ {
+		if ec.Stopped() {
+			break
+		}
 		prefix := pat.Clone()
 		prefix.Root.ClearOutputs()
 		s := prefix.Root
@@ -23,12 +34,12 @@ func StepActuals(ix *xmlstore.Index, ctx *xdm.Node, pat *pattern.Pattern) []int 
 		}
 		s.Next = nil
 		s.Out = "n"
-		bindings, err := Eval(Auto, ix, ctx, prefix)
+		p, err := Prepare(Auto, ix, prefix)
 		if err != nil {
 			out = append(out, -1)
 			continue
 		}
-		out = append(out, distinctFirst(bindings))
+		out = append(out, distinctFirst(p.EvalCtx(ec, ctx)))
 	}
 	return out
 }

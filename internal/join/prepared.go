@@ -3,6 +3,7 @@ package join
 import (
 	"sort"
 
+	"xqtp/internal/execctx"
 	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
@@ -187,7 +188,14 @@ func (p *Prepared) materialize(ranks []int32) []*xdm.Node {
 // Single-output patterns run on the selected algorithm; patterns outside an
 // algorithm's supported fragment fall back to nested-loop evaluation, which
 // is fully general.
-func (p *Prepared) Eval(ctx *xdm.Node) []Binding {
+func (p *Prepared) Eval(ctx *xdm.Node) []Binding { return p.EvalCtx(nil, ctx) }
+
+// EvalCtx is Eval under an execution context: the kernels poll ec at
+// bounded intervals and bail out once it stops. A stopped evaluation
+// returns a partial (possibly empty) binding set — callers that thread a
+// non-nil ec must check ec.Err() afterwards and discard the result on stop
+// (the physical operator layer does exactly that).
+func (p *Prepared) EvalCtx(ec *execctx.Ctx, ctx *xdm.Node) []Binding {
 	alg := p.alg
 	if p.empty && alg != NestedLoop {
 		// Provably empty document-wide. Plain NestedLoop stays fully
@@ -202,19 +210,19 @@ func (p *Prepared) Eval(ctx *xdm.Node) []Binding {
 		switch alg {
 		case Staircase:
 			if p.scOK {
-				return wrapNodes(scEval(p, ctx))
+				return wrapNodes(scEval(p, ec, ctx))
 			}
 		case Twig:
 			if p.twigOK {
-				return wrapNodes(twigEval(p, ctx))
+				return wrapNodes(twigEval(p, ec, ctx))
 			}
 		case Streaming:
 			if p.streamOK {
-				return wrapNodes(streamEval(p, ctx))
+				return wrapNodes(streamEval(p, ec, ctx))
 			}
 		}
 	}
-	return nlEval(ctx, p.pat)
+	return nlEval(ec, ctx, p.pat)
 }
 
 // EvalFirst returns the first binding in document order, allowing the
@@ -223,7 +231,11 @@ func (p *Prepared) Eval(ctx *xdm.Node) []Binding {
 // difference is precisely the paper's §5.3 observation. The early exit is
 // only taken for child/attribute-only spines, where the nested loop's
 // lexical first binding is also the document-order first.
-func (p *Prepared) EvalFirst(ctx *xdm.Node) (Binding, bool) {
+func (p *Prepared) EvalFirst(ctx *xdm.Node) (Binding, bool) { return p.EvalFirstCtx(nil, ctx) }
+
+// EvalFirstCtx is EvalFirst under an execution context, with the same
+// partial-result contract as EvalCtx.
+func (p *Prepared) EvalFirstCtx(ec *execctx.Ctx, ctx *xdm.Node) (Binding, bool) {
 	alg := p.alg
 	if p.empty && alg != NestedLoop {
 		return nil, false
@@ -234,9 +246,9 @@ func (p *Prepared) EvalFirst(ctx *xdm.Node) (Binding, bool) {
 		alg = NestedLoop
 	}
 	if alg == NestedLoop && p.childOnly {
-		return nlFirst(ctx, p.pat)
+		return nlFirst(ec, ctx, p.pat)
 	}
-	all := p.Eval(ctx)
+	all := p.EvalCtx(ec, ctx)
 	if len(all) == 0 {
 		return nil, false
 	}

@@ -4,6 +4,7 @@ import (
 	"slices"
 	"sync"
 
+	"xqtp/internal/execctx"
 	"xqtp/internal/xdm"
 )
 
@@ -49,17 +50,33 @@ var scArenaPool = sync.Pool{New: func() any { return new(scArena) }}
 //
 // The per-step candidate lists live in arena buffers (two, swapped each
 // step); only the final result materializes nodes, exactly sized.
-func scEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
+//
+// The execution context is polled once per spine step, once per 64 contexts
+// inside the descendant scans, and once per 64 candidates in the predicate
+// semi-join loop — the stream-advance batch boundaries, so the unchunked
+// inner region scans stay branch-free. A stopped evaluation skips the
+// materialization and returns nil (EvalCtx's partial-result contract); the
+// arena goes back to the pool through the same path as a completed run, so
+// cancellation never leaks or corrupts pooled scratch.
+func scEval(p *Prepared, ec *execctx.Ctx, ctx *xdm.Node) []*xdm.Node {
 	arena := scArenaPool.Get().(*scArena)
 	ai, bi := arena.take(), arena.take()
 	cur := append(arena.bufs[ai][:0], int32(ctx.Pre))
 	next := arena.bufs[bi][:0]
+	stopped := false
 	for i := range p.spine {
+		if ec.Stopped() {
+			stopped = true
+			break
+		}
 		s := &p.spine[i]
-		next = scStep(p, cur, s, next[:0])
+		next = scStep(p, ec, cur, s, next[:0])
 		if len(s.preds) > 0 {
 			kept := next[:0]
-			for _, cand := range next {
+			for ci, cand := range next {
+				if ci&63 == 63 && ec.Stopped() {
+					break
+				}
 				if scPreds(p, arena, cand, s.preds) {
 					kept = append(kept, cand)
 				}
@@ -71,7 +88,10 @@ func scEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 			break
 		}
 	}
-	out := p.materialize(cur)
+	var out []*xdm.Node
+	if !stopped {
+		out = p.materialize(cur)
+	}
 	arena.giveBack(ai, cur)
 	arena.giveBack(bi, next)
 	arena.next = 0
@@ -81,7 +101,7 @@ func scEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 
 // scStep performs one staircase step over a document-ordered duplicate-free
 // context rank list, appending into dst (which must not alias ctxs).
-func scStep(p *Prepared, ctxs []int32, s *cstep, dst []int32) []int32 {
+func scStep(p *Prepared, ec *execctx.Ctx, ctxs []int32, s *cstep, dst []int32) []int32 {
 	cols := p.cols
 	axis, test := s.axis, s.test
 	out := dst
@@ -95,7 +115,10 @@ func scStep(p *Prepared, ctxs []int32, s *cstep, dst []int32) []int32 {
 		// binary-searching it from scratch per context.
 		covered := int32(-1)
 		pos := 0
-		for _, c := range ctxs {
+		for ci, c := range ctxs {
+			if ci&63 == 63 && ec.Stopped() {
+				return out
+			}
 			if c <= covered {
 				continue
 			}
@@ -116,7 +139,10 @@ func scStep(p *Prepared, ctxs []int32, s *cstep, dst []int32) []int32 {
 		// after the attribute run, each sibling starts one past the previous
 		// region); set-at-a-time with a final order/duplicate repair because
 		// contexts may nest.
-		for _, c := range ctxs {
+		for ci, c := range ctxs {
+			if ci&63 == 63 && ec.Stopped() {
+				break
+			}
 			end := cols.End(c)
 			for ch := cols.FirstChild(c); ch <= end; ch = cols.NextSibling(ch) {
 				if test.matches(cols, ch) {
@@ -172,7 +198,9 @@ func scExists(p *Prepared, arena *scArena, ctx int32, chain []cstep) bool {
 	found := true
 	for i := range chain {
 		s := &chain[i]
-		next = scStep(p, cur, s, next[:0])
+		// Predicate semi-joins run from singleton contexts, so their scans
+		// are short; the execution context is polled by the outer loops.
+		next = scStep(p, nil, cur, s, next[:0])
 		if len(s.preds) > 0 {
 			kept := next[:0]
 			for _, cand := range next {

@@ -3,6 +3,7 @@ package join
 import (
 	"math/bits"
 
+	"xqtp/internal/execctx"
 	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
 )
@@ -46,8 +47,10 @@ func streamSupported(p *pattern.Pattern) bool {
 // step to match is spine[i]"); a node matching the final step is an answer.
 // States are propagated level by level using an explicit stack of
 // (subtree-end, bitmask) frames, so the whole evaluation is one linear scan
-// with no per-node allocation.
-func streamEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
+// with no per-node allocation. The execution context is polled once per
+// 8192 preorder ranks — the scan's batch boundary; a stopped scan returns
+// nil (EvalCtx's partial-result contract).
+func streamEval(p *Prepared, ec *execctx.Ctx, ctx *xdm.Node) []*xdm.Node {
 	pat := p.pat
 	spine := p.spine
 	var descMask uint64
@@ -60,7 +63,7 @@ func streamEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 	if n > 63 {
 		// Absurdly deep pattern: fall back to the nested loop's bindings.
 		nodes := make([]*xdm.Node, 0)
-		for _, b := range nlEval(ctx, pat) {
+		for _, b := range nlEval(ec, ctx, pat) {
 			nodes = append(nodes, b[0])
 		}
 		xdm.SortDoc(nodes)
@@ -79,6 +82,9 @@ func streamEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
 
 	lo, hi := int32(ctx.Pre)+1, int32(ctx.End())
 	for pre := lo; pre <= hi; pre++ {
+		if pre&8191 == 0 && ec.Stopped() {
+			return nil
+		}
 		kind := kindCol[pre]
 		if kind == uint8(xdm.AttributeNode) {
 			continue

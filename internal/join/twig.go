@@ -3,6 +3,7 @@ package join
 import (
 	"sync"
 
+	"xqtp/internal/execctx"
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
 )
@@ -24,19 +25,25 @@ import (
 // The streams come pre-resolved from the Prepared pattern; stacks and
 // candidate lists live in a pooled arena, released after the result is
 // copied out.
-func twigEval(p *Prepared, ctx *xdm.Node) []*xdm.Node {
+//
+// The execution context is polled every 512 stream advances inside
+// runTwigStack (its per-iteration work — getNext plus stack maintenance —
+// is the twig join's unit of progress). A stopped run skips refinement and
+// materialization and returns nil; the arena is released through the same
+// path as a completed run, so cancellation leaves the pool clean.
+func twigEval(p *Prepared, ec *execctx.Ctx, ctx *xdm.Node) []*xdm.Node {
 	arena := getTwigBufs()
 	q := buildQuery(p, ctx, arena)
 	cols := p.cols
-	runTwigStack(q, cols)
-	refine(q, cols)
-	// Select the extraction-point candidates that sit on a refined root
-	// path (top-down pass).
-	topDown(q, cols)
-	ep := findOutput(q)
 	var out []*xdm.Node
-	if ep != nil {
-		out = p.materialize(ep.valid)
+	if runTwigStack(q, cols, ec) {
+		refine(q, cols)
+		// Select the extraction-point candidates that sit on a refined root
+		// path (top-down pass).
+		topDown(q, cols)
+		if ep := findOutput(q); ep != nil {
+			out = p.materialize(ep.valid)
+		}
 	}
 	arena.release(q)
 	return out
@@ -135,12 +142,18 @@ func (q *qnode) nextBegin() int32 {
 // runTwigStack advances all streams in document order, pushing a rank onto
 // its stack only when its parent's stack holds an ancestor (so every pushed
 // rank lies on a root-connected chain). Pushed ranks are the candidate sets
-// the refinement pass works from.
-func runTwigStack(root *qnode, cols *xdm.Cols) {
+// the refinement pass works from. Returns false when the execution context
+// stopped the scan before the streams were exhausted.
+func runTwigStack(root *qnode, cols *xdm.Cols, ec *execctx.Ctx) bool {
+	tick := 0
 	for {
 		q := getNext(root)
 		if q == nil {
-			return
+			return true
+		}
+		tick++
+		if tick&511 == 0 && ec.Stopped() {
+			return false
 		}
 		n := q.stream[q.pos]
 		q.pos++

@@ -410,6 +410,9 @@ func (o *opMapToItem) eval(rt *Runtime, fr frame) (value, error) {
 	}
 	var out xdm.Sequence
 	for _, t := range in {
+		if rt.EC != nil && rt.EC.Stopped() {
+			return value{}, rt.EC.Err()
+		}
 		v, err := evalItems(o.dep, rt, t)
 		if err != nil {
 			return value{}, err
@@ -432,6 +435,9 @@ func (o *opSelect) eval(rt *Runtime, fr frame) (value, error) {
 	}
 	var out []frame
 	for _, t := range in {
+		if rt.EC != nil && rt.EC.Stopped() {
+			return value{}, rt.EC.Err()
+		}
 		keep, err := evalBool(o.pred, rt, t)
 		if err != nil {
 			return value{}, err

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sync"
 
+	"xqtp/internal/execctx"
 	"xqtp/internal/join"
 	"xqtp/internal/pattern"
 	"xqtp/internal/xdm"
@@ -97,6 +98,11 @@ type Runtime struct {
 	// counters (evaluations, emitted rows, emptiness skips per opTTP; read
 	// back via Plan.TTPStats). Off by default: the hot path pays nothing.
 	CountCards bool
+	// EC is the run's execution context: cancellation, deadline, and
+	// row/byte budgets. Operators poll it at bounded intervals and abort
+	// with its typed error once it stops. Nil (the default) disables every
+	// check beyond a nil-test branch.
+	EC *execctx.Ctx
 }
 
 // varBinding resolves variable slot i.
@@ -221,11 +227,52 @@ func (p *Plan) BindVars(vars map[string]xdm.Sequence) []*xdm.Sequence {
 
 // Run evaluates the plan to an item sequence.
 func (p *Plan) Run(rt *Runtime) (xdm.Sequence, error) {
+	if err := rt.EC.Err(); err != nil {
+		return nil, err
+	}
 	v, err := p.root.eval(rt, nil)
 	if err != nil {
 		return nil, err
 	}
 	return v.itemsVal()
+}
+
+// RunSink evaluates the plan, delivering result items to sink through the
+// runtime's execution context (budget charging, typed early abort). When
+// the plan's root is the usual MapToItem output boundary, the dependent
+// item expression is evaluated tuple by tuple and each tuple's items are
+// delivered before the next tuple is touched — so a spent budget or a
+// canceled context stops further evaluation, not just further delivery,
+// and the sink observes exactly the document-order prefix. Other root
+// shapes evaluate fully, then deliver.
+func (p *Plan) RunSink(rt *Runtime, sink execctx.Sink) error {
+	if err := rt.EC.Err(); err != nil {
+		return err
+	}
+	if m, ok := p.root.(*opMapToItem); ok {
+		in, err := evalFrames(m.input, rt, nil)
+		if err != nil {
+			return err
+		}
+		for _, t := range in {
+			if err := rt.EC.Err(); err != nil {
+				return err
+			}
+			v, err := evalItems(m.dep, rt, t)
+			if err != nil {
+				return err
+			}
+			if err := execctx.Deliver(rt.EC, sink, v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	seq, err := p.Run(rt)
+	if err != nil {
+		return err
+	}
+	return execctx.Deliver(rt.EC, sink, seq)
 }
 
 // newFrame clones fr into a fresh frame of the plan's width (fr may be nil:

@@ -91,6 +91,9 @@ type row struct {
 }
 
 func (o *opTTP) eval(rt *Runtime, fr frame) (value, error) {
+	if err := rt.EC.Err(); err != nil {
+		return value{}, err
+	}
 	in, err := evalFrames(o.input, rt, fr)
 	if err != nil {
 		return value{}, err
@@ -138,7 +141,7 @@ func (o *opTTP) eval(rt *Runtime, fr frame) (value, error) {
 		}
 	}
 	if o.first && len(items) == 1 {
-		b, found := items[0].prep.EvalFirst(items[0].ctx)
+		b, found := items[0].prep.EvalFirstCtx(rt.EC, items[0].ctx)
 		var rows []row
 		if found {
 			rows = append(rows, row{fr: items[0].fr, binding: b})
@@ -148,7 +151,7 @@ func (o *opTTP) eval(rt *Runtime, fr frame) (value, error) {
 	if len(items) == 1 {
 		// One context node (the common case after rewrites root the pattern
 		// at the document): no per-item fan-out bookkeeping.
-		bs := items[0].prep.Eval(items[0].ctx)
+		bs := items[0].prep.EvalCtx(rt.EC, items[0].ctx)
 		rows := make([]row, len(bs))
 		for i, b := range bs {
 			rows[i] = row{fr: items[0].fr, binding: b}
@@ -169,17 +172,23 @@ func (o *opTTP) eval(rt *Runtime, fr frame) (value, error) {
 				defer wg.Done()
 				for {
 					i := int(atomic.AddInt64(&next, 1))
-					if i >= len(items) {
+					// A stopped execution context halts the fan-out: no new
+					// context node is admitted, and the kernels cut the
+					// in-flight ones short at their own checkpoints.
+					if i >= len(items) || rt.EC.Stopped() {
 						return
 					}
-					perItem[i] = items[i].prep.Eval(items[i].ctx)
+					perItem[i] = items[i].prep.EvalCtx(rt.EC, items[i].ctx)
 				}
 			}()
 		}
 		wg.Wait()
 	} else {
 		for i, w := range items {
-			perItem[i] = w.prep.Eval(w.ctx)
+			if rt.EC.Stopped() {
+				break
+			}
+			perItem[i] = w.prep.EvalCtx(rt.EC, w.ctx)
 		}
 	}
 	total := 0
@@ -196,8 +205,13 @@ func (o *opTTP) eval(rt *Runtime, fr frame) (value, error) {
 }
 
 // emit records the actual row cardinality when the runtime asks for it, then
-// hands off to output.
+// hands off to output. A stopped execution context surfaces here as the
+// typed abort error — this is the single point every evaluation shape above
+// funnels through, so partial kernel results are never emitted.
 func (o *opTTP) emit(rt *Runtime, rows []row) (value, error) {
+	if err := rt.EC.Err(); err != nil {
+		return value{}, err
+	}
 	if rt.CountCards {
 		o.actRows.Add(int64(len(rows)))
 	}

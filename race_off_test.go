@@ -1,0 +1,6 @@
+//go:build !race
+
+package xqtp
+
+// raceEnabled scales the cancellation-latency assertions (see race_on_test.go).
+const raceEnabled = false

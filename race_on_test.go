@@ -1,0 +1,8 @@
+//go:build race
+
+package xqtp
+
+// raceEnabled scales the cancellation-latency assertions: under the race
+// detector every atomic and channel operation is instrumented, so wall-clock
+// bounds that hold comfortably in a normal build need generous headroom.
+const raceEnabled = true

@@ -135,6 +135,9 @@ func RunServe(w io.Writer, opts ExperimentOptions, jsonPath string, cpus []int) 
 		}
 		var serial float64
 		for _, procs := range procsList {
+			if err := opts.checkpoint(); err != nil {
+				return err
+			}
 			res, err := benchServe(doc, queries, alg, procs)
 			if err != nil {
 				return err

@@ -18,6 +18,7 @@
 package xqtp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -29,6 +30,7 @@ import (
 	"xqtp/internal/compile"
 	"xqtp/internal/core"
 	"xqtp/internal/exec"
+	"xqtp/internal/execctx"
 	"xqtp/internal/join"
 	"xqtp/internal/optimize"
 	"xqtp/internal/parser"
@@ -371,14 +373,14 @@ func (q *Query) Run(doc *Document, alg Algorithm) (Sequence, error) {
 }
 
 // RunParallel evaluates like Run but allows the TupleTreePattern operator
-// to match its context nodes on up to workers goroutines. Results are
-// identical to the sequential evaluation.
+// to match its context nodes on up to workers goroutines (<= 0: one worker
+// per available CPU). Results are identical to the sequential evaluation.
 func (q *Query) RunParallel(doc *Document, alg Algorithm, workers int) (Sequence, error) {
 	p, err := q.physicalPlan(alg)
 	if err != nil {
 		return nil, err
 	}
-	return p.Run(q.runtime(doc, workers))
+	return p.Run(q.runtime(doc, normalizeWorkers(workers)))
 }
 
 // RunWithVars evaluates the query with explicit variable bindings.
@@ -444,6 +446,14 @@ func (q *Query) Explain() string {
 // algorithm the cost model chooses for that document (evaluated from the
 // document root, the context the optimized plans feed their patterns).
 func (q *Query) ExplainPhysical(alg Algorithm, doc *Document) (string, error) {
+	return q.ExplainPhysicalCtx(context.Background(), alg, doc)
+}
+
+// ExplainPhysicalCtx is ExplainPhysical under a context: the per-step actual
+// cardinality evaluations (one full pattern run per spine step) poll ctx and
+// the explain aborts with ErrCanceled once it is done — these are the
+// expensive part of an Auto explain on a large document.
+func (q *Query) ExplainPhysicalCtx(ctx context.Context, alg Algorithm, doc *Document) (string, error) {
 	p, err := q.physicalPlan(alg)
 	if err != nil {
 		return "", err
@@ -451,6 +461,7 @@ func (q *Query) ExplainPhysical(alg Algorithm, doc *Document) (string, error) {
 	if doc == nil || alg != Auto {
 		return p.Explain(), nil
 	}
+	ec := execctx.From(ctx, 0, 0)
 	// Document-rooted annotations only make sense for pattern operators fed
 	// directly by the root binding; downstream operators (after a positional
 	// head, say) consume derived bindings and their per-document choice is
@@ -480,7 +491,7 @@ func (q *Query) ExplainPhysical(alg Algorithm, doc *Document) (string, error) {
 			return nil
 		}
 		est := join.ChooseEstimate(doc.index, doc.tree.Root, pat)
-		acts := join.StepActuals(doc.index, doc.tree.Root, pat)
+		acts := join.StepActualsCtx(ec, doc.index, doc.tree.Root, pat)
 		lines := make([]string, 0, len(est.Steps))
 		for i, se := range est.Steps {
 			act := -1
@@ -492,7 +503,11 @@ func (q *Query) ExplainPhysical(alg Algorithm, doc *Document) (string, error) {
 		}
 		return lines
 	}
-	return p.ExplainDetail(choice, detail), nil
+	out := p.ExplainDetail(choice, detail)
+	if err := ec.Err(); err != nil {
+		return "", err
+	}
+	return out, nil
 }
 
 // formatEst renders a cardinality estimate compactly: whole numbers without
