@@ -16,6 +16,8 @@ build:
 vet:
 	$(GO) vet ./...
 	$(GO) vet -tags race ./...
+	$(GO) build -tags nommap ./...
+	GOOS=windows GOARCH=amd64 $(GO) build ./...
 	@fmt_out=$$(gofmt -l .); if [ -n "$$fmt_out" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 	@if command -v staticcheck >/dev/null 2>&1; then \
@@ -54,6 +56,8 @@ bench-smoke:
 	-$(GO) run ./cmd/benchdiff BENCH_collection_quick.json /tmp/bench_collection_quick.json
 	$(GO) run ./cmd/treebench -exp optimizer -quick -json /tmp/bench_optimizer_quick.json
 	-$(GO) run ./cmd/benchdiff BENCH_optimizer_quick.json /tmp/bench_optimizer_quick.json
+	$(GO) run ./cmd/treebench -exp snapshot -quick -json /tmp/bench_snapshot_quick.json
+	-$(GO) run ./cmd/benchdiff BENCH_snapshot_quick.json /tmp/bench_snapshot_quick.json
 
 # Short differential fuzz of the ingest scanner against the encoding/xml
 # oracle, and of the snapshot reader against corrupted/truncated bytes (the

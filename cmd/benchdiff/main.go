@@ -29,6 +29,7 @@ type report struct {
 	IngestCells     []xqtp.IngestCell     `json:"ingest_cells"`
 	CollectionCells []xqtp.CollectionCell `json:"collection_cells"`
 	OptimizerCells  []xqtp.OptimizerCell  `json:"optimizer_cells"`
+	SnapshotCells   []xqtp.SnapshotCell   `json:"snapshot_cells"`
 }
 
 func load(path string) (report, error) {
@@ -41,7 +42,8 @@ func load(path string) (report, error) {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
 	if len(r.Cells) == 0 && len(r.Results) == 0 && len(r.IngestCells) == 0 &&
-		len(r.CollectionCells) == 0 && len(r.OptimizerCells) == 0 {
+		len(r.CollectionCells) == 0 && len(r.OptimizerCells) == 0 &&
+		len(r.SnapshotCells) == 0 {
 		return r, fmt.Errorf("%s: no cells or results", path)
 	}
 	return r, nil
@@ -190,6 +192,31 @@ func diffOptimizer(old, new []xqtp.OptimizerCell) {
 	}
 }
 
+func diffSnapshot(old, new []xqtp.SnapshotCell) {
+	type key struct {
+		phase, mode string
+		docs        int
+	}
+	prev := make(map[key]xqtp.SnapshotCell, len(old))
+	for _, c := range old {
+		prev[key{c.Phase, c.Mode, c.Docs}] = c
+	}
+	fmt.Printf("%-12s %-8s %-6s %24s %26s %20s\n",
+		"phase", "mode", "docs", "ms/op old→new", "resident old→new", "allocs old→new")
+	for _, c := range new {
+		o, ok := prev[key{c.Phase, c.Mode, c.Docs}]
+		if !ok {
+			fmt.Printf("%-12s %-8s %-6d (new cell)\n", c.Phase, c.Mode, c.Docs)
+			continue
+		}
+		fmt.Printf("%-12s %-8s %-6d %8.3f→%-8.3f %s %10d→%-10d %s %6d→%-6d %s\n",
+			c.Phase, c.Mode, c.Docs,
+			o.NsPerOp/1e6, c.NsPerOp/1e6, pct(o.NsPerOp, c.NsPerOp),
+			o.ResidentBytes, c.ResidentBytes, pct(float64(o.ResidentBytes), float64(c.ResidentBytes)),
+			o.AllocsPerOp, c.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(c.AllocsPerOp)))
+	}
+}
+
 // gateTable1 computes the median new/old ns/op ratio over the table1 cells
 // whose algorithm is in algs (empty: every cell), and fails when the median
 // regressed by more than pct percent. The median — not the mean or the max —
@@ -268,6 +295,8 @@ func main() {
 				diffCollection(oldR.CollectionCells, newR.CollectionCells)
 			case len(oldR.OptimizerCells) > 0 && len(newR.OptimizerCells) > 0:
 				diffOptimizer(oldR.OptimizerCells, newR.OptimizerCells)
+			case len(oldR.SnapshotCells) > 0 && len(newR.SnapshotCells) > 0:
+				diffSnapshot(oldR.SnapshotCells, newR.SnapshotCells)
 			default:
 				err = fmt.Errorf("reports are of different kinds")
 			}

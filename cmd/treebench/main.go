@@ -12,6 +12,7 @@
 //	treebench -exp ingest -json BENCH_ingest.json  # parse throughput fast vs std
 //	treebench -exp collection -json BENCH_collection.json  # corpus ingest MB/s + fan-out QPS
 //	treebench -exp optimizer -json BENCH_optimizer.json  # cost-model est vs act + member skips
+//	treebench -exp snapshot -json BENCH_snapshot.json  # mmap cold open + paging vs read-all
 package main
 
 import (
@@ -31,7 +32,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, serve, ingest, collection, optimizer, all")
+		exp      = flag.String("exp", "all", "experiment: validate, fig4, table1, fig6, sec53, serve, ingest, collection, optimizer, snapshot, all")
 		quick    = flag.Bool("quick", false, "reduced document sizes for a fast run")
 		seed     = flag.Int64("seed", 1, "generator seed")
 		repeats  = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
@@ -100,6 +101,8 @@ func main() {
 		err = xqtp.RunCollection(w, opts, *jsonPath)
 	case "optimizer":
 		err = xqtp.RunOptimizer(w, opts, *jsonPath)
+	case "snapshot":
+		err = xqtp.RunSnapshot(w, opts, *jsonPath)
 	case "all":
 		err = xqtp.RunAll(w, opts)
 	default:

@@ -19,8 +19,10 @@
 //
 // Snapshots: -save-snapshot serializes the loaded inputs (one document or a
 // whole corpus) in the columnar binary snapshot format; -snapshot reads one
-// back, skipping parsing and index building. -query may be omitted when
-// converting:
+// back, skipping parsing and index building. A snapshot named by path is
+// memory-mapped: members page in as the query touches them, so corpora
+// larger than RAM are queryable and the open cost is independent of corpus
+// size. -query may be omitted when converting:
 //
 //	xq -dir corpus/ -save-snapshot corpus.snap
 //	xq -snapshot -query 'fn:collection()//person/name' corpus.snap
@@ -89,6 +91,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if corpus != nil {
+		// A file snapshot is memory-mapped (pages fault in per query);
+		// release the mapping on the way out.
+		defer corpus.Close()
 	}
 	if corpus != nil && corpus.Len() == 1 {
 		doc = corpus.DocumentAt(0)

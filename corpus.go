@@ -13,6 +13,9 @@ import (
 	"xqtp/internal/xdm"
 )
 
+// ErrClosed reports use of a corpus or document after Close.
+var ErrClosed = collection.ErrClosed
+
 // CorpusSource is one document for corpus ingest: its URI and, optionally,
 // its content. Nil Data means the URI is a file path to read during ingest.
 type CorpusSource struct {
@@ -81,13 +84,55 @@ func OpenCorpusSnapshot(data []byte) (*Corpus, error) {
 	return &Corpus{c: c}, nil
 }
 
-// OpenCorpusFile loads a corpus snapshot from a file.
+// OpenCorpusFile opens a corpus snapshot from a file by memory-mapping it:
+// only the header, offset table and corpus name table are read at open, so
+// the cost is O(open) regardless of corpus size, and member pages fault in
+// as queries touch them — a corpus larger than RAM stays queryable. The
+// corpus owns the mapping; call Close to release it. Setting the
+// XQTP_SNAPSHOT_READALL environment variable (any non-empty value) forces
+// the old read-everything path instead, which needs no Close.
 func OpenCorpusFile(path string) (*Corpus, error) {
-	data, err := os.ReadFile(path)
+	if os.Getenv("XQTP_SNAPSHOT_READALL") != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return OpenCorpusSnapshot(data)
+	}
+	c, err := collection.OpenSnapshotFile(path)
 	if err != nil {
 		return nil, err
 	}
-	return OpenCorpusSnapshot(data)
+	return &Corpus{c: c}, nil
+}
+
+// Close poisons the corpus and releases its snapshot file mapping (if any).
+// After Close every Run/Document entry point returns ErrClosed; so does a
+// second Close. Closing while queries are in flight is a caller bug, exactly
+// as with os.File. Close on an ingested (non-mapped) corpus only poisons it.
+func (c *Corpus) Close() error { return c.c.Close() }
+
+// Closed reports whether Close has been called.
+func (c *Corpus) Closed() bool { return c.c.Closed() }
+
+// Mapped reports whether the corpus is backed by a live file mapping (true
+// only for OpenCorpusFile corpora on mmap-capable builds, before Close).
+func (c *Corpus) Mapped() bool {
+	m := c.c.Mapping()
+	return m != nil && m.Mapped()
+}
+
+// SnapshotResident returns the number of bytes of the snapshot mapping
+// currently resident in physical memory (ok=false when the corpus is not
+// file-backed or the platform cannot report residency). This is the
+// measurement behind the paging experiments: after a cold open it is a few
+// pages; after a single-member query it is roughly that member's size.
+func (c *Corpus) SnapshotResident() (int64, bool) {
+	m := c.c.Mapping()
+	if m == nil {
+		return 0, false
+	}
+	return m.Resident()
 }
 
 func internalSources(sources []CorpusSource) []collection.Source {
@@ -266,29 +311,36 @@ func (c *Corpus) runCore(ec *execctx.Ctx, q *Query, alg Algorithm, workers int, 
 		}
 		docs := c.c.Docs()
 		skip = func(i int) bool {
+			ix := docs[i].Index
 			for k, r := range required {
 				col := cols[k]
 				if col == nil || col[i] == xdm.NoSym {
 					skipped.Add(1)
 					return true
 				}
-				ix := docs[i].Index
-				var n int
-				if r.Attr {
-					n = len(ix.AttributeRanksSym(col[i]))
-				} else {
-					n = len(ix.ElementRanksSym(col[i]))
-				}
-				if n == 0 {
+				// StreamLen answers from the loaded index or, for a deferred
+				// member, from its section directory — a definite count either
+				// way, without paging in the member's data. ok=false means the
+				// directory itself is unreadable: admit the member so its load
+				// error surfaces as a query error instead of a silent skip.
+				if n, ok := ix.StreamLen(col[i], r.Attr); ok && n == 0 {
 					skipped.Add(1)
 					return true
 				}
 			}
+			// The member will run: hint the kernel to page its region in
+			// ahead of the parse (no-op once loaded or unmapped).
+			ix.Prefetch()
 			return false
 		}
 	}
 	memberEC := ec.CancelOnly()
 	err = c.c.RunAllCtx(ec, workers, skip, func(d *collection.Doc) (Sequence, error) {
+		// A deferred member parses and validates here, on the worker that
+		// evaluates it; a corrupt member becomes this member's query error.
+		if err := d.Ensure(); err != nil {
+			return nil, err
+		}
 		rt := &physical.Runtime{
 			Catalog: c.c.Catalog(),
 			Preps:   q.preps,

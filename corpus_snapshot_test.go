@@ -2,7 +2,10 @@ package xqtp
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
 
@@ -174,5 +177,186 @@ func TestCorpusSnapshotExtend(t *testing.T) {
 	}
 	if !found {
 		t.Fatal("query did not reach the member added after snapshot load")
+	}
+}
+
+// The file-mapped open is the same corpus again: identical query results,
+// identical skip accounting (the deferred members answer the emptiness probe
+// from their section directories), and a typed error after Close. This is
+// TestCorpusSnapshotQueryDifferential over OpenCorpusFile.
+func TestCorpusFileQueryDifferential(t *testing.T) {
+	fresh, err := LoadCorpus(genCorpusSources(12, 7), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.xqts")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenCorpusFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer loaded.Close()
+	if loaded.Len() != fresh.Len() {
+		t.Fatalf("loaded %d members, want %d", loaded.Len(), fresh.Len())
+	}
+	// Directory-backed accounting before any member load.
+	if loaded.NumNodes() != fresh.NumNodes() {
+		t.Fatalf("node count %d, want %d", loaded.NumNodes(), fresh.NumNodes())
+	}
+	algs := []Algorithm{Staircase, Twig, Auto, Streaming}
+	for _, pq := range corpusDiffQueries() {
+		q, err := Prepare(pq.Query)
+		if err != nil {
+			t.Fatalf("%s: %v", pq.Name, err)
+		}
+		for _, alg := range algs {
+			want, wantStats, err := fresh.RunParallelStats(q, alg, 1)
+			if err != nil {
+				t.Fatalf("%s/%v/fresh: %v", pq.Name, alg, err)
+			}
+			for _, workers := range []int{1, 8} {
+				got, gotStats, err := loaded.RunParallelStats(q, alg, workers)
+				if err != nil {
+					t.Fatalf("%s/%v/workers=%d/mapped: %v", pq.Name, alg, workers, err)
+				}
+				if err := equivItems(want, got, fresh.URIOf, loaded.URIOf); err != nil {
+					t.Errorf("%s/%v/workers=%d: mapped corpus differs from fresh: %v",
+						pq.Name, alg, workers, err)
+				}
+				// The deferred skip test must prove exactly what the loaded
+				// one proves — a deferred member silently skipped when its
+				// stream is non-empty would drop results.
+				if gotStats.Skipped != wantStats.Skipped {
+					t.Errorf("%s/%v/workers=%d: skipped %d members, fresh skipped %d",
+						pq.Name, alg, workers, gotStats.Skipped, wantStats.Skipped)
+				}
+			}
+		}
+	}
+
+	if err := loaded.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := loaded.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	q, err := Prepare(`$input//doc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loaded.Run(q, Auto); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+}
+
+// XQTP_SNAPSHOT_READALL forces the old read-everything open; results must
+// not change, only the backing storage.
+func TestCorpusFileReadAllFallback(t *testing.T) {
+	fresh, err := LoadCorpus(genCorpusSources(6, 3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fresh.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.xqts")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Setenv("XQTP_SNAPSHOT_READALL", "1")
+	loaded, err := OpenCorpusFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Mapped() {
+		t.Fatal("read-all fallback reported a live mapping")
+	}
+	q, err := Prepare(`$input//doc`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fresh.RunParallel(q, Auto, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := loaded.RunParallel(q, Auto, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := equivItems(want, got, fresh.URIOf, loaded.URIOf); err != nil {
+		t.Fatalf("read-all corpus differs from fresh: %v", err)
+	}
+}
+
+// Single-document file mapping through the public Document API.
+func TestDocumentOpenSnapshotFile(t *testing.T) {
+	doc, err := LoadXMLString(`<a id="1"><b x="y"><c>hello</c></b><c>world</c><b><c/></b></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc.SetURI("mem://one.xml")
+	var buf bytes.Buffer
+	if err := doc.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "doc.xqts")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.URI() != doc.URI() {
+		t.Fatalf("URI = %q, want %q", doc2.URI(), doc.URI())
+	}
+	if doc2.XML() != doc.XML() {
+		t.Fatalf("serialization differs:\n  %s\n  %s", doc.XML(), doc2.XML())
+	}
+	q, err := Prepare(`$input//b[c]`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{NestedLoop, Staircase, Twig, Auto} {
+		want, err := q.Run(doc, alg)
+		if err != nil {
+			t.Fatalf("%v/fresh: %v", alg, err)
+		}
+		got, err := q.Run(doc2, alg)
+		if err != nil {
+			t.Fatalf("%v/mapped: %v", alg, err)
+		}
+		same := func(Item) (string, bool) { return "", true }
+		if err := equivItems(want, got, same, same); err != nil {
+			t.Errorf("%v: mapped document differs from fresh: %v", alg, err)
+		}
+	}
+	if err := doc2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := doc2.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	if _, err := q.Run(doc2, Auto); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Run after Close = %v, want ErrClosed", err)
+	}
+	if _, err := q.RunWithVars(doc2, Auto, nil); !errors.Is(err, ErrClosed) {
+		t.Fatalf("RunWithVars after Close = %v, want ErrClosed", err)
+	}
+	// A truncated single-document snapshot is rejected at open (the member
+	// is validated eagerly on this path).
+	trunc := filepath.Join(t.TempDir(), "trunc.xqts")
+	if err := os.WriteFile(trunc, buf.Bytes()[:buf.Len()-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshotFile(trunc); err == nil {
+		t.Fatal("open of a truncated document snapshot should fail")
 	}
 }

@@ -411,5 +411,9 @@ func RunAll(w io.Writer, opts ExperimentOptions) error {
 		return err
 	}
 	fmt.Fprintln(w)
-	return RunCollection(w, opts, "")
+	if err := RunCollection(w, opts, ""); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return RunSnapshot(w, opts, "")
 }

@@ -18,10 +18,16 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"xqtp/internal/xdm"
 	"xqtp/internal/xmlstore"
 )
+
+// ErrClosed reports use of a corpus after Close. It is the same value as
+// xmlstore.ErrSnapshotClosed, so errors.Is matches whichever layer detected
+// the closed store.
+var ErrClosed = xmlstore.ErrSnapshotClosed
 
 // Doc is one corpus member: a parsed document with its index, addressed by
 // URI.
@@ -36,6 +42,12 @@ func (d *Doc) Tree() *xdm.Tree { return d.Index.Tree }
 // Root returns the member's document node, materializing a snapshot-loaded
 // member's pointer data model on first use.
 func (d *Doc) Root() *xdm.Node { return d.Index.Tree.RootNode() }
+
+// Ensure forces a deferred snapshot member's parse + validation (no-op for
+// ingested members and already-loaded ones). The error-returning twin of
+// Root: fan-out evaluation calls it before touching the member so a corrupt
+// member becomes a per-query error.
+func (d *Doc) Ensure() error { return d.Index.Ensure() }
 
 // Corpus is an immutable snapshot of a document collection. Member order is
 // the corpus order: ascending tree IDs, which makes it coincide with
@@ -56,7 +68,44 @@ type Corpus struct {
 	// of every member — which would make opening a corpus snapshot pay for
 	// all the Node structs the open was designed to defer.
 	roots     xdm.Sequence
+	rootsErr  error
 	rootsOnce sync.Once
+
+	// mapping is the file mapping behind a corpus opened with
+	// OpenSnapshotFile; nil for ingested and in-memory-snapshot corpora.
+	// Close releases it.
+	mapping *xmlstore.Mapping
+	closed  atomic.Bool
+}
+
+// Close poisons the corpus and releases its file mapping (if any). After
+// Close every run/resolve entry point returns ErrClosed; a second Close
+// returns ErrClosed too. Closing while queries are in flight is a caller
+// bug (the os.File contract): the entry-point checks catch sequential
+// use-after-close, not races.
+func (c *Corpus) Close() error {
+	if !c.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	if c.mapping != nil {
+		return c.mapping.Close()
+	}
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (c *Corpus) Closed() bool { return c.closed.Load() }
+
+// Mapping returns the file mapping behind the corpus (nil unless opened
+// with OpenSnapshotFile).
+func (c *Corpus) Mapping() *xmlstore.Mapping { return c.mapping }
+
+// closedErr is the entry-point check used by every run/resolve path.
+func (c *Corpus) closedErr() error {
+	if c.closed.Load() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // New builds a corpus from already-ingested members. Members are sorted by
@@ -142,9 +191,15 @@ func (c *Corpus) Names() *NameTable { return c.names }
 
 // ResolveDoc implements xdm.DocResolver: fn:doc($uri).
 func (c *Corpus) ResolveDoc(uri string) (*xdm.Node, error) {
+	if err := c.closedErr(); err != nil {
+		return nil, err
+	}
 	d, ok := c.ByURI(uri)
 	if !ok {
 		return nil, fmt.Errorf("doc(%q): no such document in the collection", uri)
+	}
+	if err := d.Ensure(); err != nil {
+		return nil, err
 	}
 	return d.Root(), nil
 }
@@ -156,13 +211,23 @@ func (c *Corpus) ResolveCollection(name string) (xdm.Sequence, error) {
 	if name != "" {
 		return nil, fmt.Errorf("collection(%q): no such collection (only the default collection is defined)", name)
 	}
+	if err := c.closedErr(); err != nil {
+		return nil, err
+	}
 	c.rootsOnce.Do(func() {
 		roots := make(xdm.Sequence, len(c.docs))
 		for i, d := range c.docs {
+			if err := d.Ensure(); err != nil {
+				c.rootsErr = err
+				return
+			}
 			roots[i] = d.Root()
 		}
 		c.roots = roots
 	})
+	if c.rootsErr != nil {
+		return nil, c.rootsErr
+	}
 	return c.roots, nil
 }
 
@@ -175,11 +240,12 @@ func (c *Corpus) SizeBytes() int {
 	return total
 }
 
-// NumNodes returns the total node count across members.
+// NumNodes returns the total node count across members. Deferred snapshot
+// members answer from their section directory, so this never forces loads.
 func (c *Corpus) NumNodes() int {
 	total := 0
 	for _, d := range c.docs {
-		total += d.Tree().CountNodes()
+		total += d.Index.NumNodes()
 	}
 	return total
 }

@@ -47,6 +47,9 @@ func (c *Corpus) RunAll(workers int, skip func(doc int) bool, eval func(d *Doc) 
 // admission, and the sequences already emitted are exactly the corpus-order
 // prefix — emit is only ever called from the merger, in order.
 func (c *Corpus) RunAllCtx(ec *execctx.Ctx, workers int, skip func(doc int) bool, eval func(d *Doc) (xdm.Sequence, error), emit func(seq xdm.Sequence) error) error {
+	if err := c.closedErr(); err != nil {
+		return err
+	}
 	n := len(c.docs)
 	if n == 0 {
 		return ec.Err()

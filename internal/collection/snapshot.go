@@ -12,6 +12,9 @@ import (
 // corpus name table, in corpus order. Loading the result (OpenSnapshot)
 // rebuilds none of them.
 func (c *Corpus) WriteSnapshot(w io.Writer) error {
+	if err := c.closedErr(); err != nil {
+		return err
+	}
 	uris := make([]string, len(c.docs))
 	ixs := make([]*xmlstore.Index, len(c.docs))
 	for i, d := range c.docs {
@@ -43,6 +46,43 @@ func OpenSnapshot(data []byte) (*Corpus, error) {
 	if err != nil {
 		return nil, err
 	}
+	return fromSnapshot(s)
+}
+
+// OpenSnapshotDeferred is OpenSnapshot without the member loads: members
+// parse and validate themselves the first time a query touches them.
+func OpenSnapshotDeferred(data []byte) (*Corpus, error) {
+	s, err := xmlstore.OpenCorpusDeferred(data)
+	if err != nil {
+		return nil, err
+	}
+	return fromSnapshot(s)
+}
+
+// OpenSnapshotFile maps the snapshot file and opens it deferred: the O(open)
+// path. Only the header, offset table and corpus tables are read; member
+// pages fault in as queries touch them, so a corpus larger than RAM stays
+// queryable. The corpus owns the mapping — Close releases it.
+func OpenSnapshotFile(path string) (*Corpus, error) {
+	m, err := xmlstore.MapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := xmlstore.OpenCorpusMapping(m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	c, err := fromSnapshot(s)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	c.mapping = m
+	return c, nil
+}
+
+func fromSnapshot(s *xmlstore.CorpusSnapshot) (*Corpus, error) {
 	docs := make([]*Doc, len(s.Indexes))
 	for i, ix := range s.Indexes {
 		docs[i] = &Doc{URI: s.URIs[i], Index: ix}

@@ -2,9 +2,14 @@ package collection
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"reflect"
 	"testing"
+
+	"xqtp/internal/xdm"
 )
 
 func TestCorpusSnapshotRoundTrip(t *testing.T) {
@@ -170,5 +175,150 @@ func TestOpenSnapshotRejectsGarbage(t *testing.T) {
 	}
 	if _, err := c2.ResolveDoc("x"); err == nil {
 		t.Fatal("resolving a doc in an empty corpus should fail")
+	}
+}
+
+// TestOpenSnapshotFile checks the file-mapped deferred open end to end:
+// equality with the in-memory load, fan-out evaluation over deferred
+// members, and the Close contract.
+func TestOpenSnapshotFile(t *testing.T) {
+	c, err := Ingest(genSources(12), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.xqts")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != c.Len() {
+		t.Fatalf("loaded %d members, want %d", c2.Len(), c.Len())
+	}
+	// Nothing is loaded at open: the whole point of the mapped path.
+	for i := 0; i < c2.Len(); i++ {
+		if c2.Doc(i).Index.Loaded() {
+			t.Fatalf("member %d loaded at open", i)
+		}
+	}
+	// NumNodes answers from the directories without forcing loads.
+	if got, want := c2.NumNodes(), c.NumNodes(); got != want {
+		t.Fatalf("NumNodes = %d, want %d", got, want)
+	}
+	for i := 0; i < c2.Len(); i++ {
+		if c2.Doc(i).Index.Loaded() {
+			t.Fatalf("member %d loaded by NumNodes", i)
+		}
+	}
+	// Evaluation touches every member; the results must match the ingested
+	// corpus member for member.
+	seq, err := c2.RunAll(4, nil, func(d *Doc) (xdm.Sequence, error) {
+		if err := d.Ensure(); err != nil {
+			return nil, err
+		}
+		return xdm.Sequence{d.Root()}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != c.Len() {
+		t.Fatalf("fan-out returned %d roots, want %d", len(seq), c.Len())
+	}
+	for i := 0; i < c.Len(); i++ {
+		a, b := c.Doc(i), c2.Doc(i)
+		if a.URI != b.URI {
+			t.Fatalf("member %d URI %q, want %q", i, b.URI, a.URI)
+		}
+		ta, tb := a.Tree(), b.Tree()
+		tb.RootNode()
+		if len(ta.Nodes) != len(tb.Nodes) {
+			t.Fatalf("member %d: %d nodes, want %d", i, len(tb.Nodes), len(ta.Nodes))
+		}
+	}
+
+	// Close: typed error on reuse, on double close, and on late loads.
+	if c2.Closed() {
+		t.Fatal("Closed before Close")
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if !c2.Closed() {
+		t.Fatal("not Closed after Close")
+	}
+	if err := c2.Close(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("second Close = %v, want ErrClosed", err)
+	}
+	if _, err := c2.ResolveDoc(c.Doc(0).URI); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ResolveDoc after Close = %v, want ErrClosed", err)
+	}
+	if _, err := c2.ResolveCollection(""); !errors.Is(err, ErrClosed) {
+		t.Fatalf("ResolveCollection after Close = %v, want ErrClosed", err)
+	}
+	err = c2.RunAllCtx(nil, 2, nil, func(d *Doc) (xdm.Sequence, error) { return nil, nil },
+		func(seq xdm.Sequence) error { return nil })
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("RunAllCtx after Close = %v, want ErrClosed", err)
+	}
+	if err := c2.WriteSnapshot(&bytes.Buffer{}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("WriteSnapshot after Close = %v, want ErrClosed", err)
+	}
+}
+
+// A member never loaded before Close must surface ErrClosed from its load,
+// not fault on the unmapped pages.
+func TestOpenSnapshotFileCloseBeforeLoad(t *testing.T) {
+	c, err := Ingest(genSources(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "corpus.xqts")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := OpenSnapshotFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.Doc(0).Ensure(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Ensure after Close = %v, want ErrClosed", err)
+	}
+	c2.Doc(0).Root() // poisoned placeholder, must not fault
+}
+
+// A snapshot file that shrank after being written must be rejected at open:
+// the offset table claims more bytes than the file holds.
+func TestOpenSnapshotFileTruncated(t *testing.T) {
+	c, err := Ingest(genSources(3), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	dir := t.TempDir()
+	for _, cut := range []int{1, 17, len(good) / 2, len(good) - 1} {
+		path := filepath.Join(dir, fmt.Sprintf("trunc-%d.xqts", cut))
+		if err := os.WriteFile(path, good[:len(good)-cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := OpenSnapshotFile(path); err == nil {
+			t.Errorf("open of snapshot truncated by %d bytes should fail", cut)
+		}
 	}
 }

@@ -135,6 +135,15 @@ func Prepare(alg Algorithm, ix *xmlstore.Index, pat *pattern.Pattern) (*Prepared
 	if err := checkPattern(pat); err != nil {
 		return nil, err
 	}
+	// A deferred snapshot member loads and validates here, on its first
+	// preparation — the error-returning boundary every kernel path passes
+	// through, so a corrupt member turns into a query error instead of a
+	// fault inside a join loop.
+	if ix != nil {
+		if err := ix.Ensure(); err != nil {
+			return nil, err
+		}
+	}
 	p := &Prepared{alg: alg, ix: ix, pat: pat}
 	p.fields = pat.OutputFields()
 	_, p.single = pat.SingleOutput()

@@ -79,19 +79,76 @@ type Tree struct {
 }
 
 // lazyNodes is the pending pointer-model build of a snapshot-loaded tree:
-// the text values (the one piece of node state not in the columns) and the
-// once gate that makes concurrent forcing safe.
+// the text values (the one piece of node state not in the columns), the
+// once gate that makes concurrent forcing safe, and — for deferred snapshot
+// members — the loader that parses and validates the member's bytes on
+// first use.
 type lazyNodes struct {
-	once  sync.Once
-	texts []string
+	once   sync.Once
+	loader func() error // fills Cols/Syms/texts before materialization; nil when the columns are already present
+	texts  []string
+	err    error // sticky loader failure (the tree is poisoned to an empty document)
 }
 
 // force materializes the pointer data model of a lazy tree; a no-op on
 // eager trees and after the first call. Safe for concurrent use: Once.Do
 // publishes Root/Nodes to every caller that passes a choke point.
+//
+// On a shell tree the loader runs first. force cannot return an error, so a
+// failed load installs a minimal placeholder document instead of leaving
+// Root/Nodes nil: navigation through a poisoned tree yields an empty
+// document rather than a nil-pointer crash, and the sticky error surfaces
+// through LoadErr at the error-returning boundaries (prepare, resolve).
 func (t *Tree) force() {
 	if l := t.lazy; l != nil {
-		l.once.Do(func() { t.materialize(l.texts) })
+		l.once.Do(func() {
+			if l.loader != nil {
+				if err := l.loader(); err != nil {
+					l.err = err
+					t.poison()
+					return
+				}
+			}
+			t.materialize(l.texts)
+		})
+	}
+}
+
+// LoadErr reports the sticky failure of a shell tree whose deferred load
+// ran and failed (nil otherwise, including before the load has run).
+func (t *Tree) LoadErr() error {
+	if l := t.lazy; l != nil {
+		return l.err
+	}
+	return nil
+}
+
+// poison installs a minimal two-node document (document node over one empty
+// element) after a failed deferred load, so pointer navigation stays safe.
+// Cols stays nil; queries reach the load error before any kernel touches
+// the columns.
+func (t *Tree) poison() {
+	doc := &Node{Kind: DocumentNode, Sym: NoSym, Size: 1, Post: 1, Doc: t}
+	el := &Node{Kind: ElementNode, Sym: NoSym, Pre: 1, Level: 1, Parent: doc, Doc: t}
+	doc.Children = []*Node{el}
+	t.Root = doc
+	t.Nodes = []*Node{doc, el}
+	if t.Syms == nil {
+		t.Syms = newSymbols()
+	}
+}
+
+// NewShellTree returns an empty tree whose columns, symbols and text values
+// arrive later through load. The deferred snapshot loader builds one shell
+// per member at open time: the shell gives the corpus layer a stable
+// identity (tree pointer and ID, the keys of the catalog and preparation
+// caches) while the member's bytes stay untouched on disk. load runs at
+// most once, under the same once gate as materialization; it must fill
+// Cols/Syms (FillColumns) before returning nil.
+func NewShellTree(load func() error) *Tree {
+	return &Tree{
+		ID:   int(nextTreeID.Add(1)),
+		lazy: &lazyNodes{loader: load},
 	}
 }
 

@@ -21,20 +21,37 @@ import "fmt"
 // a fresh ID from the global counter; corpus loaders reassign IDs in member
 // order afterwards (AssignTreeIDs), exactly as parallel ingest does.
 func TreeFromColumns(cols *Cols, syms *Symbols, texts []string) (*Tree, error) {
+	t := &Tree{
+		ID:   int(nextTreeID.Add(1)),
+		lazy: &lazyNodes{},
+	}
+	if err := t.FillColumns(cols, syms, texts); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// FillColumns validates the column set and installs it on t, which must be
+// an unfilled shell or freshly allocated tree. This is the deferred-load
+// half of TreeFromColumns: the snapshot loader creates shell trees at open
+// time (NewShellTree) and fills them here when a member's first use forces
+// its parse, preserving the tree's pointer identity for every cache keyed
+// on it. The cols, syms and texts arguments are retained.
+func (t *Tree) FillColumns(cols *Cols, syms *Symbols, texts []string) error {
 	n := len(cols.Kind)
 	if len(cols.Post) != n || len(cols.Size) != n || len(cols.Level) != n ||
 		len(cols.Parent) != n || len(cols.Sym) != n {
-		return nil, fmt.Errorf("xdm: column lengths disagree")
+		return fmt.Errorf("xdm: column lengths disagree")
 	}
 	if n < 2 {
-		return nil, fmt.Errorf("xdm: tree without a document root")
+		return fmt.Errorf("xdm: tree without a document root")
 	}
 	if Kind(cols.Kind[0]) != DocumentNode || cols.Parent[0] != -1 ||
 		cols.Level[0] != 0 || Sym(cols.Sym[0]) != NoSym {
-		return nil, fmt.Errorf("xdm: rank 0 is not a document node")
+		return fmt.Errorf("xdm: rank 0 is not a document node")
 	}
 	if int(cols.Size[0]) != n-1 {
-		return nil, fmt.Errorf("xdm: document region does not span the tree")
+		return fmt.Errorf("xdm: document region does not span the tree")
 	}
 	nsyms := int32(syms.Len())
 
@@ -48,76 +65,77 @@ func TreeFromColumns(cols *Cols, syms *Symbols, texts []string) (*Tree, error) {
 	for i := 1; i < n; i++ {
 		p := cols.Parent[i]
 		if p < 0 || int(p) >= i {
-			return nil, fmt.Errorf("xdm: node %d has parent rank %d (not an earlier node)", i, p)
+			return fmt.Errorf("xdm: node %d has parent rank %d (not an earlier node)", i, p)
 		}
 		if cols.Level[i] != cols.Level[p]+1 {
-			return nil, fmt.Errorf("xdm: node %d level %d under parent level %d", i, cols.Level[i], cols.Level[p])
+			return fmt.Errorf("xdm: node %d level %d under parent level %d", i, cols.Level[i], cols.Level[p])
 		}
 		if cols.Size[i] < 0 || int(cols.Size[i]) > n-1-i {
-			return nil, fmt.Errorf("xdm: node %d region size %d out of range", i, cols.Size[i])
+			return fmt.Errorf("xdm: node %d region size %d out of range", i, cols.Size[i])
 		}
 		if int32(i)+cols.Size[i] > p+cols.Size[p] {
-			return nil, fmt.Errorf("xdm: node %d region escapes its parent's", i)
+			return fmt.Errorf("xdm: node %d region escapes its parent's", i)
 		}
 		if cols.Post[i] < 0 || int(cols.Post[i]) >= n {
-			return nil, fmt.Errorf("xdm: node %d postorder rank %d out of range", i, cols.Post[i])
+			return fmt.Errorf("xdm: node %d postorder rank %d out of range", i, cols.Post[i])
 		}
 		pk := Kind(cols.Kind[p])
 		switch k := Kind(cols.Kind[i]); k {
 		case ElementNode:
 			if pk != ElementNode && pk != DocumentNode {
-				return nil, fmt.Errorf("xdm: element %d under %s parent", i, pk)
+				return fmt.Errorf("xdm: element %d under %s parent", i, pk)
 			}
 			if s := cols.Sym[i]; s < 0 || s >= nsyms {
-				return nil, fmt.Errorf("xdm: node %d symbol %d out of range", i, s)
+				return fmt.Errorf("xdm: node %d symbol %d out of range", i, s)
 			}
 			childCount[p]++
 		case AttributeNode:
 			if pk != ElementNode {
-				return nil, fmt.Errorf("xdm: attribute %d under %s parent", i, pk)
+				return fmt.Errorf("xdm: attribute %d under %s parent", i, pk)
 			}
 			if s := cols.Sym[i]; s < 0 || s >= nsyms {
-				return nil, fmt.Errorf("xdm: node %d symbol %d out of range", i, s)
+				return fmt.Errorf("xdm: node %d symbol %d out of range", i, s)
 			}
 			if cols.Size[i] != 0 {
-				return nil, fmt.Errorf("xdm: attribute %d with non-empty region", i)
+				return fmt.Errorf("xdm: attribute %d with non-empty region", i)
 			}
 			attrCount[p]++
 			nTexts++
 		case TextNode:
 			if pk != ElementNode && pk != DocumentNode {
-				return nil, fmt.Errorf("xdm: text %d under %s parent", i, pk)
+				return fmt.Errorf("xdm: text %d under %s parent", i, pk)
 			}
 			if Sym(cols.Sym[i]) != NoSym {
-				return nil, fmt.Errorf("xdm: text node %d carries a symbol", i)
+				return fmt.Errorf("xdm: text node %d carries a symbol", i)
 			}
 			if cols.Size[i] != 0 {
-				return nil, fmt.Errorf("xdm: text node %d with non-empty region", i)
+				return fmt.Errorf("xdm: text node %d with non-empty region", i)
 			}
 			childCount[p]++
 			nTexts++
 		case DocumentNode:
-			return nil, fmt.Errorf("xdm: nested document node at rank %d", i)
+			return fmt.Errorf("xdm: nested document node at rank %d", i)
 		default:
-			return nil, fmt.Errorf("xdm: invalid node kind %d at rank %d", cols.Kind[i], i)
+			return fmt.Errorf("xdm: invalid node kind %d at rank %d", cols.Kind[i], i)
 		}
 	}
 	if nTexts != len(texts) {
-		return nil, fmt.Errorf("xdm: %d text values for %d text-bearing nodes", len(texts), nTexts)
+		return fmt.Errorf("xdm: %d text values for %d text-bearing nodes", len(texts), nTexts)
 	}
 	if childCount[0] != 1 || attrCount[0] != 0 {
-		return nil, fmt.Errorf("xdm: document node must hold exactly one root element")
+		return fmt.Errorf("xdm: document node must hold exactly one root element")
 	}
 	if Kind(cols.Kind[1]) != ElementNode {
-		return nil, fmt.Errorf("xdm: root of the document is not an element")
+		return fmt.Errorf("xdm: root of the document is not an element")
 	}
 
-	return &Tree{
-		ID:   int(nextTreeID.Add(1)),
-		Syms: syms,
-		Cols: cols,
-		lazy: &lazyNodes{texts: texts},
-	}, nil
+	t.Syms = syms
+	t.Cols = cols
+	if t.lazy == nil {
+		t.lazy = &lazyNodes{}
+	}
+	t.lazy.texts = texts
+	return nil
 }
 
 // materialize builds the pointer data model over the validated columns of a

@@ -42,7 +42,12 @@ func NewSymbols(names []string) (*Symbols, error) {
 
 // Names returns the interned names indexed by symbol ID. The slice is shared
 // and must not be modified.
-func (st *Symbols) Names() []string { return st.names }
+func (st *Symbols) Names() []string {
+	if st == nil {
+		return nil
+	}
+	return st.names
+}
 
 // intern returns the ID for name, assigning the next free ID on first use.
 func (st *Symbols) intern(name string) Sym {
@@ -72,8 +77,12 @@ func (st *Symbols) internBytes(name []byte) Sym {
 
 // Lookup resolves a name to its symbol. Names that do not occur in the tree
 // return (NoSym, false) — for a query name test this means the matching
-// stream is empty, no fallback scan needed.
+// stream is empty, no fallback scan needed. A nil table (an unloaded shell
+// tree) resolves nothing.
 func (st *Symbols) Lookup(name string) (Sym, bool) {
+	if st == nil {
+		return NoSym, false
+	}
 	s, ok := st.byName[name]
 	if !ok {
 		return NoSym, false
@@ -83,11 +92,16 @@ func (st *Symbols) Lookup(name string) (Sym, bool) {
 
 // Name returns the string for a symbol.
 func (st *Symbols) Name(s Sym) string {
-	if s < 0 || int(s) >= len(st.names) {
+	if st == nil || s < 0 || int(s) >= len(st.names) {
 		return ""
 	}
 	return st.names[s]
 }
 
 // Len returns the number of distinct interned names.
-func (st *Symbols) Len() int { return len(st.names) }
+func (st *Symbols) Len() int {
+	if st == nil {
+		return 0
+	}
+	return len(st.names)
+}

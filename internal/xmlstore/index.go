@@ -30,6 +30,12 @@ type Index struct {
 	allNodes  []int32 // elements and texts merged by pre (node() stream)
 	allAttrs  []int32 // every attribute, by pre (attribute::* stream)
 
+	// lazy is the deferred-load state of a snapshot member (snapshot.go);
+	// nil on eagerly built indexes. While unloaded, the streams above are
+	// empty and the tree is a shell — Ensure fills them, and the directory
+	// probes (StreamLen, NumNodes) answer without forcing it.
+	lazy *lazyMember
+
 	statsState // lazily built Stats snapshot (stats.go)
 }
 

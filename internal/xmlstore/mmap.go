@@ -1,0 +1,209 @@
+package xmlstore
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"unsafe"
+)
+
+// ErrSnapshotClosed reports use of a snapshot mapping (or a corpus or
+// document built over one) after Close. Every layer above returns this same
+// value, so errors.Is works regardless of which entry point hit the closed
+// store.
+var ErrSnapshotClosed = errors.New("xmlstore: snapshot is closed")
+
+// Mapping is a read-only view of a snapshot file. On Unix-like hosts (and
+// without the nommap build tag) the view is an mmap of the file: opening
+// costs the map syscall only, bytes fault in on first touch, and the page
+// cache — not the Go heap — holds the data, so corpora larger than RAM stay
+// queryable. On other targets, or under -tags nommap, the same type reads
+// the whole file into memory; callers cannot tell the difference except
+// through Mapped.
+//
+// The mapping owns the file's resources: the fd is closed right after
+// mapping (the mapping itself keeps the pages alive), and Close releases
+// the pages. After Close, Bytes returns ErrSnapshotClosed; slices handed
+// out before Close must no longer be used (the same contract as os.File —
+// closing a store while queries are in flight is a caller bug, not a
+// checked condition).
+type Mapping struct {
+	mu     sync.RWMutex
+	data   []byte
+	mapped bool // data is an mmap view (munmap on Close), not a heap copy
+	closed bool
+	path   string
+}
+
+// MapFile maps the file at path read-only. The file's length is fixed at
+// map time; a file that later shrinks on disk can still SIGBUS a mapped
+// reader on Unix — snapshots are immutable by contract, and the open-time
+// length validation (OpenCorpusMapping) rejects files already shorter than
+// their offset table claims.
+func MapFile(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return &Mapping{path: path}, nil
+	}
+	if size != int64(int(size)) || size < 0 {
+		return nil, fmt.Errorf("xmlstore: snapshot %s (%d bytes) exceeds the address space", path, size)
+	}
+	data, mapped, err := mapFile(f, int(size))
+	if err != nil {
+		return nil, fmt.Errorf("xmlstore: map %s: %w", path, err)
+	}
+	return &Mapping{data: data, mapped: mapped, path: path}, nil
+}
+
+// Bytes returns the mapped view, or ErrSnapshotClosed after Close. The
+// slice aliases the mapping and is invalidated by Close.
+func (m *Mapping) Bytes() ([]byte, error) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed {
+		return nil, ErrSnapshotClosed
+	}
+	return m.data, nil
+}
+
+// Len returns the mapped length in bytes (0 after Close).
+func (m *Mapping) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.data)
+}
+
+// Mapped reports whether the view is demand-paged (true) or a read-all heap
+// copy (false: nommap build, unsupported OS, or an empty file).
+func (m *Mapping) Mapped() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.mapped
+}
+
+// Path returns the file the mapping was opened from.
+func (m *Mapping) Path() string { return m.path }
+
+// Close unmaps the view and poisons the mapping. A second Close returns
+// ErrSnapshotClosed.
+func (m *Mapping) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return ErrSnapshotClosed
+	}
+	m.closed = true
+	data, wasMapped := m.data, m.mapped
+	m.data = nil
+	m.mapped = false
+	if wasMapped && data != nil {
+		return unmap(data)
+	}
+	return nil
+}
+
+// Advice values for advise.
+const (
+	adviseNormal = iota
+	adviseSequential
+	adviseWillNeed
+)
+
+// AdviseSequential hints that [off, off+n) is about to be read front to
+// back — the deferred member parse, which walks every section once.
+func (m *Mapping) AdviseSequential(off int64, n int) { m.advise(off, n, adviseSequential) }
+
+// AdviseWillNeed asks the OS to start paging in [off, off+n) — the fan-out
+// prefetch when the skip test admits a member that is not yet loaded.
+func (m *Mapping) AdviseWillNeed(off int64, n int) { m.advise(off, n, adviseWillNeed) }
+
+// AdviseNormal resets the kernel's readahead policy for [off, off+n).
+func (m *Mapping) AdviseNormal(off int64, n int) { m.advise(off, n, adviseNormal) }
+
+// advise page-aligns the range, clamps it to the mapping and forwards the
+// hint. Hints are advisory: failures (and closed mappings) are ignored.
+func (m *Mapping) advise(off int64, n int, kind int) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed || !m.mapped || n <= 0 || off < 0 || off >= int64(len(m.data)) {
+		return
+	}
+	end := off + int64(n)
+	if end > int64(len(m.data)) {
+		end = int64(len(m.data))
+	}
+	// madvise wants a page-aligned address; align the range start down to a
+	// page boundary relative to the mapping base (mmap bases are aligned).
+	off -= off % int64(os.Getpagesize())
+	madviseRange(m.data[off:end], kind)
+}
+
+// Resident reports how many bytes of the mapped range are currently in
+// physical memory, summed from /proc/self/smaps. ok is false when the view
+// is not an mmap, already closed, or the platform has no smaps (non-Linux).
+// This is the bench harness's page-touch meter: after a single-member query
+// it shows how little of the snapshot the query actually faulted in.
+func (m *Mapping) Resident() (int64, bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if m.closed || !m.mapped || len(m.data) == 0 || runtime.GOOS != "linux" {
+		return 0, false
+	}
+	start := uintptr(unsafe.Pointer(&m.data[0]))
+	end := start + uintptr(len(m.data))
+	f, err := os.Open("/proc/self/smaps")
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var total int64
+	inRange := false
+	found := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		// Map header lines read "start-end perms offset dev inode [path]";
+		// attribute lines read "Key:  value kB". A first field that parses
+		// as two hex numbers around a dash is a header.
+		head := line
+		if sp := strings.IndexByte(line, ' '); sp >= 0 {
+			head = line[:sp]
+		}
+		if dash := strings.IndexByte(head, '-'); dash > 0 {
+			lo, err1 := strconv.ParseUint(head[:dash], 16, 64)
+			hi, err2 := strconv.ParseUint(head[dash+1:], 16, 64)
+			if err1 == nil && err2 == nil {
+				inRange = uintptr(lo) < end && uintptr(hi) > start
+				found = found || inRange
+				continue
+			}
+		}
+		if inRange && strings.HasPrefix(line, "Rss:") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					total += kb * 1024
+				}
+			}
+		}
+	}
+	if sc.Err() != nil || !found {
+		return 0, false
+	}
+	return total, true
+}

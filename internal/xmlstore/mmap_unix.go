@@ -1,0 +1,36 @@
+//go:build (linux || darwin) && !nommap
+
+package xmlstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only. The returned view stays valid
+// after f is closed; the second result reports that the view is a real
+// mapping (unmap on Close).
+func mapFile(f *os.File, size int) ([]byte, bool, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, true, nil
+}
+
+func unmap(data []byte) error {
+	return syscall.Munmap(data)
+}
+
+// madviseRange forwards a paging hint for b (page-aligned by the caller).
+// Advisory only: errors are dropped.
+func madviseRange(b []byte, kind int) {
+	adv := syscall.MADV_NORMAL
+	switch kind {
+	case adviseSequential:
+		adv = syscall.MADV_SEQUENTIAL
+	case adviseWillNeed:
+		adv = syscall.MADV_WILLNEED
+	}
+	_ = syscall.Madvise(b, adv)
+}

@@ -42,7 +42,24 @@ func FuzzSnapshot(f *testing.F) {
 	corrupt[20] ^= 0xff
 	f.Add(corrupt)
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// The deferred path must uphold the same no-panic contract through
+		// its probe-then-load stages, and must accept/reject the same inputs
+		// as the eager open (eager is deferred + Ensure everything).
+		sd, errD := OpenCorpusDeferred(bytes.Clone(data))
+		if errD == nil {
+			for _, ix := range sd.Indexes {
+				ix.NumNodes()
+				ix.StreamLen(0, false)
+				_ = ix.Ensure()
+				ix.Tree.RootNode()
+			}
+		}
 		s, err := OpenCorpus(bytes.Clone(data))
+		if err == nil && errD != nil {
+			// Eager is deferred + Ensure everything, so it can only reject
+			// more inputs (member corruption), never fewer.
+			t.Fatalf("eager open accepted what deferred open rejected: %v", errD)
+		}
 		if err != nil {
 			return
 		}

@@ -2,6 +2,7 @@ package xmlstore
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -282,4 +283,203 @@ func TestSnapshotProperty(t *testing.T) {
 	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
 		t.Error(err)
 	}
+}
+
+// TestSnapshotDeferredRoundTrip checks the O(open) path: a deferred open
+// answers the directory probes (node counts, stream lengths) without loading
+// any member, and a later Ensure yields exactly the eager load.
+func TestSnapshotDeferredRoundTrip(t *testing.T) {
+	docs := []string{
+		`<a id="1"><b>one</b><b>two</b></a>`,
+		`<catalog><item price="3">x</item><other/></catalog>`,
+		`<a><c k="v"/></a>`,
+	}
+	uris := []string{"one.xml", "two.xml", "three.xml"}
+	ixs := make([]*Index, len(docs))
+	for i, d := range docs {
+		ix, err := IngestString(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ixs[i] = ix
+	}
+	var buf bytes.Buffer
+	if err := WriteCorpus(&buf, snapshotFromIndexes(uris, ixs)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenCorpusDeferred(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, ix := range s.Indexes {
+		if ix.Loaded() {
+			t.Fatalf("member %d loaded before any touch", m)
+		}
+		// Directory probes against the eager truth, before any load.
+		if got, want := ix.NumNodes(), ixs[m].Tree.CountNodes(); got != want {
+			t.Fatalf("member %d NumNodes = %d, want %d", m, got, want)
+		}
+		for sym := xdm.Sym(0); int(sym) < ixs[m].Tree.Syms.Len(); sym++ {
+			for _, attr := range []bool{false, true} {
+				n, ok := ix.StreamLen(sym, attr)
+				if !ok {
+					t.Fatalf("member %d StreamLen(%d, %v) not answerable", m, sym, attr)
+				}
+				want := len(ixs[m].ElementRanksSym(sym))
+				if attr {
+					want = len(ixs[m].AttributeRanksSym(sym))
+				}
+				if n != want {
+					t.Fatalf("member %d StreamLen(%d, %v) = %d, want %d", m, sym, attr, n, want)
+				}
+			}
+		}
+		// Out-of-range symbols have no cheap proof: the fan-out must admit
+		// the member rather than silently skip it.
+		if _, ok := ix.StreamLen(xdm.Sym(ixs[m].Tree.Syms.Len()), false); ok {
+			t.Fatalf("member %d StreamLen past the symbol table reported ok", m)
+		}
+		if ix.Loaded() {
+			t.Fatalf("member %d loaded by a directory probe", m)
+		}
+		if err := ix.Ensure(); err != nil {
+			t.Fatalf("member %d Ensure: %v", m, err)
+		}
+		if !ix.Loaded() {
+			t.Fatalf("member %d not loaded after Ensure", m)
+		}
+		indexesEqual(t, ixs[m], ix)
+	}
+}
+
+// Byte flips against the deferred path: open, probe, Ensure, materialize —
+// an error at any stage is fine, a panic never is. This sweeps the
+// validation that moved from open time to load time.
+func TestSnapshotDeferredCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	ix, err := IngestString(`<a id="1"><b x="y"><c>hello</c></b><c>world</c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteSnapshot(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	for i := range good {
+		for _, flip := range []byte{0xff, 0x01, 0x80} {
+			data := bytes.Clone(good)
+			data[i] ^= flip
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("deferred path panicked with byte %d ^= %#x: %v", i, flip, r)
+					}
+				}()
+				s, err := OpenCorpusDeferred(data)
+				if err != nil {
+					return
+				}
+				for _, ix2 := range s.Indexes {
+					ix2.NumNodes()
+					ix2.StreamLen(0, false)
+					ix2.StreamLen(0, true)
+					if err := ix2.Ensure(); err != nil {
+						// Sticky: the second Ensure must return the same error,
+						// and the poisoned tree must still navigate.
+						if err2 := ix2.Ensure(); err2 != err {
+							t.Fatalf("Ensure not sticky: %v then %v", err, err2)
+						}
+					}
+					ix2.Tree.RootNode()
+				}
+			}()
+		}
+	}
+	// Deferred open of every truncation must fail at open (the offset table
+	// is validated against the file length before any member is trusted).
+	for n := 0; n < len(good); n++ {
+		if _, err := OpenCorpusDeferred(good[:n:n]); err == nil {
+			t.Errorf("deferred open of truncation to %d bytes should fail", n)
+		}
+	}
+}
+
+// TestSnapshotPortableFallback forces the decode-copy path (as used on
+// big-endian hosts and under -tags nommap cross-builds) and checks it
+// round-trips identically to the aliasing path.
+func TestSnapshotPortableFallback(t *testing.T) {
+	defer func(prev bool) { forcePortable = prev }(forcePortable)
+
+	ix, err := IngestString(`<a id="1"><b x="y"><c>hello</c></b><c>world</c></a>`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, portable := range []bool{false, true} {
+		forcePortable = portable
+		var buf bytes.Buffer
+		if err := WriteSnapshot(&buf, ix); err != nil {
+			t.Fatalf("portable=%v write: %v", portable, err)
+		}
+		ix2, err := ReadSnapshot(&buf)
+		if err != nil {
+			t.Fatalf("portable=%v read: %v", portable, err)
+		}
+		indexesEqual(t, ix, ix2)
+	}
+	// Cross: written aliased, read portable (and the reverse) — the on-disk
+	// format is identical, only the in-memory aliasing differs.
+	forcePortable = false
+	var buf bytes.Buffer
+	if err := WriteSnapshot(&buf, ix); err != nil {
+		t.Fatal(err)
+	}
+	forcePortable = true
+	ix2, err := ReadSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexesEqual(t, ix, ix2)
+}
+
+// TestSnapshotDeferredFromMapping runs the deferred round trip against a
+// real file mapping, including the prefetch hint and mapping close ordering.
+func TestSnapshotDeferredFromMapping(t *testing.T) {
+	path := writeTempSnapshot(t,
+		[]string{`<a id="1"><b>one</b></a>`, `<c><d x="y">two</d></c>`},
+		[]string{"one.xml", "two.xml"})
+	m, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := OpenCorpusMapping(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ix := range s.Indexes {
+		ix.Prefetch()
+		if err := ix.Ensure(); err != nil {
+			t.Fatalf("member %d: %v", i, err)
+		}
+		ix.Tree.RootNode()
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// A member never loaded before Close must fail with the typed error, not
+	// fault on unmapped pages.
+	m2, err := MapFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := OpenCorpusMapping(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.Indexes[0].Ensure(); !errors.Is(err, ErrSnapshotClosed) {
+		t.Fatalf("Ensure after mapping Close = %v, want ErrSnapshotClosed", err)
+	}
+	s2.Indexes[0].Tree.RootNode() // poisoned, must not fault
 }

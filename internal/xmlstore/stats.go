@@ -65,6 +65,15 @@ func (st *Stats) ElemFrac(s xdm.Sym) float64 {
 // Size and Level columns by rank), not a walk of the tree.
 func (ix *Index) Stats() *Stats {
 	ix.statsOnce.Do(func() {
+		// A deferred member must be loaded before its columns exist. The
+		// planner only reaches Stats after a successful Prepare (which
+		// Ensured the member), so a failure here means a direct caller on a
+		// corrupt member: memoize zero stats, the query error surfaces
+		// through the prepare path.
+		if err := ix.Ensure(); err != nil {
+			ix.stats = &Stats{}
+			return
+		}
 		cols := ix.Tree.Cols
 		st := &Stats{
 			Nodes:     len(cols.Kind),

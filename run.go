@@ -95,6 +95,9 @@ func normalizeWorkers(workers int) int {
 // intervals and aborts with ErrCanceled (wrapping the context's cause) once
 // it is done. With a background context it is exactly Run.
 func (q *Query) RunCtx(ctx context.Context, doc *Document, alg Algorithm) (Sequence, error) {
+	if err := doc.closedErr(); err != nil {
+		return nil, err
+	}
 	p, err := q.physicalPlan(alg)
 	if err != nil {
 		return nil, err
@@ -107,6 +110,9 @@ func (q *Query) RunCtx(ctx context.Context, doc *Document, alg Algorithm) (Seque
 // RunParallelCtx is RunParallel under a context; workers <= 0 means one
 // worker per available CPU.
 func (q *Query) RunParallelCtx(ctx context.Context, doc *Document, alg Algorithm, workers int) (Sequence, error) {
+	if err := doc.closedErr(); err != nil {
+		return nil, err
+	}
 	p, err := q.physicalPlan(alg)
 	if err != nil {
 		return nil, err
@@ -123,6 +129,9 @@ func (q *Query) RunParallelCtx(ctx context.Context, doc *Document, alg Algorithm
 // document order, the returned Sequence (nil-Sink case) holds that prefix,
 // and the error matches ErrCanceled or ErrBudgetExceeded.
 func (q *Query) RunWith(ctx context.Context, doc *Document, alg Algorithm, opts RunOptions) (Sequence, RunInfo, error) {
+	if err := doc.closedErr(); err != nil {
+		return nil, RunInfo{}, err
+	}
 	p, err := q.physicalPlan(alg)
 	if err != nil {
 		return nil, RunInfo{}, err

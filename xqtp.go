@@ -24,6 +24,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"xqtp/internal/algebra"
 	"xqtp/internal/ast"
@@ -102,6 +103,10 @@ type Document struct {
 	// fn:collection against the whole corpus; nil documents resolve against
 	// themselves (the degenerate one-document collection).
 	docs xdm.DocResolver
+	// mapping is the file mapping behind a document opened with
+	// OpenSnapshotFile; nil otherwise. Close releases it.
+	mapping *xmlstore.Mapping
+	closed  atomic.Bool
 }
 
 // LoadXML parses an XML document through the fused ingest path: one pass
@@ -201,7 +206,12 @@ func (d *Document) WriteXML(w io.Writer) error {
 // the region columns and index streams go out as-is, so loading skips both
 // the parse and the index build.
 func (d *Document) SaveSnapshot(w io.Writer) error {
-	return xmlstore.WriteSnapshot(w, d.index)
+	// A one-member corpus snapshot carrying the document's URI, so a
+	// file-mapped reopen (OpenSnapshotFile) restores fn:doc resolution.
+	return xmlstore.WriteCorpus(w, &xmlstore.CorpusSnapshot{
+		URIs:    []string{d.uri},
+		Indexes: []*xmlstore.Index{d.index},
+	})
 }
 
 // LoadSnapshot reads a document written by SaveSnapshot. The tree and its
@@ -213,6 +223,71 @@ func LoadSnapshot(r io.Reader) (*Document, error) {
 		return nil, err
 	}
 	return newDocumentIndexed(ix), nil
+}
+
+// OpenSnapshotFile opens a single-document snapshot by memory-mapping the
+// file: the columns, symbol table and rank streams alias the mapping
+// directly, so no copy of the document is made and cold pages load on
+// demand. The document owns the mapping — call Close to release it; after
+// Close the Run entry points return ErrClosed. Unlike the deferred corpus
+// open, the single member is validated here (the open reports corruption
+// immediately rather than at first query).
+func OpenSnapshotFile(path string) (*Document, error) {
+	m, err := xmlstore.MapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := xmlstore.OpenCorpusMapping(m)
+	if err != nil {
+		m.Close()
+		return nil, err
+	}
+	if len(s.Indexes) != 1 {
+		m.Close()
+		return nil, fmt.Errorf("xqtp: snapshot holds %d members; use OpenCorpusFile for corpora", len(s.Indexes))
+	}
+	if err := s.Indexes[0].Ensure(); err != nil {
+		m.Close()
+		return nil, err
+	}
+	d := newDocumentIndexed(s.Indexes[0])
+	d.mapping = m
+	if len(s.URIs) == 1 {
+		d.uri = s.URIs[0]
+	}
+	return d, nil
+}
+
+// Close poisons the document and releases its snapshot file mapping (if
+// any). After Close the Run entry points return ErrClosed; so does a second
+// Close. Closing while queries are in flight is a caller bug, exactly as
+// with os.File. Close on a parsed (non-mapped) document only poisons it.
+func (d *Document) Close() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return ErrClosed
+	}
+	if d.mapping != nil {
+		return d.mapping.Close()
+	}
+	return nil
+}
+
+// Closed reports whether Close has been called.
+func (d *Document) Closed() bool { return d.closed.Load() }
+
+// Mapped reports whether the document is backed by a live file mapping
+// (true only for OpenSnapshotFile documents on mmap-capable builds, before
+// Close).
+func (d *Document) Mapped() bool {
+	return d.mapping != nil && d.mapping.Mapped()
+}
+
+// closedErr is the entry-point check used by the Run paths.
+func (d *Document) closedErr() error {
+	if d.closed.Load() {
+		return ErrClosed
+	}
+	return nil
 }
 
 // CompileOptions configures query preparation.
@@ -365,6 +440,9 @@ func (q *Query) runtime(doc *Document, workers int) *physical.Runtime {
 // bound to the document node. Run is safe to call concurrently from many
 // goroutines on the same Query and Document.
 func (q *Query) Run(doc *Document, alg Algorithm) (Sequence, error) {
+	if err := doc.closedErr(); err != nil {
+		return nil, err
+	}
 	p, err := q.physicalPlan(alg)
 	if err != nil {
 		return nil, err
@@ -376,6 +454,9 @@ func (q *Query) Run(doc *Document, alg Algorithm) (Sequence, error) {
 // to match its context nodes on up to workers goroutines (<= 0: one worker
 // per available CPU). Results are identical to the sequential evaluation.
 func (q *Query) RunParallel(doc *Document, alg Algorithm, workers int) (Sequence, error) {
+	if err := doc.closedErr(); err != nil {
+		return nil, err
+	}
 	p, err := q.physicalPlan(alg)
 	if err != nil {
 		return nil, err
@@ -385,6 +466,9 @@ func (q *Query) RunParallel(doc *Document, alg Algorithm, workers int) (Sequence
 
 // RunWithVars evaluates the query with explicit variable bindings.
 func (q *Query) RunWithVars(doc *Document, alg Algorithm, vars map[string]Sequence) (Sequence, error) {
+	if err := doc.closedErr(); err != nil {
+		return nil, err
+	}
 	p, err := q.physicalPlan(alg)
 	if err != nil {
 		return nil, err
