@@ -4,9 +4,9 @@ GO ?= go
 # caches, shared compiled physical plans, parallel TupleTreePattern workers)
 # plus the unsafe-aliasing ingest scanner and the parallel corpus layer get a
 # dedicated -race run.
-RACE_PKGS = ./internal/collection ./internal/exec ./internal/join ./internal/physical ./internal/xmlstore
+RACE_PKGS = ./internal/collection ./internal/exec ./internal/join ./internal/physical ./internal/server ./internal/xmlstore
 
-.PHONY: all build vet test race check bench serve bench-compare bench-smoke fuzz-smoke clean
+.PHONY: all build vet test race check bench serve run-server bench-compare bench-smoke fuzz-smoke clean
 
 all: check
 
@@ -40,6 +40,15 @@ bench:
 # Concurrent serving benchmark; -cpu exercises the QPS scaling.
 serve:
 	$(GO) test -bench Serve -benchmem -cpu 1,4 .
+
+# Run the HTTP query server over a corpus:
+#   make run-server CORPUS=corpus.snap            (snapshot, mmap)
+#   make run-server CORPUS=xmldir/ ADDR=:9090     (directory of *.xml)
+ADDR ?= :8080
+run-server:
+	@test -n "$(CORPUS)" || \
+		{ echo "usage: make run-server CORPUS=path/to/corpus.snap [ADDR=:8080]"; exit 2; }
+	$(GO) run ./cmd/xqd -addr $(ADDR) -corpus main=$(CORPUS)
 
 # Quick benchmark smoke: re-measure Table 1 at reduced scale and diff it
 # against the committed quick-scale baseline. The gating row fails when the

@@ -26,6 +26,7 @@ import (
 type report struct {
 	Cells           []xqtp.Table1Cell     `json:"cells"`
 	Results         []xqtp.ServeResult    `json:"results"`
+	ServeCells      []xqtp.HTTPServeCell  `json:"serve_cells"`
 	IngestCells     []xqtp.IngestCell     `json:"ingest_cells"`
 	CollectionCells []xqtp.CollectionCell `json:"collection_cells"`
 	OptimizerCells  []xqtp.OptimizerCell  `json:"optimizer_cells"`
@@ -41,9 +42,9 @@ func load(path string) (report, error) {
 	if err := json.Unmarshal(data, &r); err != nil {
 		return r, fmt.Errorf("%s: %w", path, err)
 	}
-	if len(r.Cells) == 0 && len(r.Results) == 0 && len(r.IngestCells) == 0 &&
-		len(r.CollectionCells) == 0 && len(r.OptimizerCells) == 0 &&
-		len(r.SnapshotCells) == 0 {
+	if len(r.Cells) == 0 && len(r.Results) == 0 && len(r.ServeCells) == 0 &&
+		len(r.IngestCells) == 0 && len(r.CollectionCells) == 0 &&
+		len(r.OptimizerCells) == 0 && len(r.SnapshotCells) == 0 {
 		return r, fmt.Errorf("%s: no cells or results", path)
 	}
 	return r, nil
@@ -103,6 +104,37 @@ func diffServe(old, new []xqtp.ServeResult) {
 			o.QPS, r.QPS, pct(o.QPS, r.QPS),
 			o.BytesPerOp, r.BytesPerOp, pct(float64(o.BytesPerOp), float64(r.BytesPerOp)),
 			o.AllocsPerOp, r.AllocsPerOp, pct(float64(o.AllocsPerOp), float64(r.AllocsPerOp)))
+	}
+}
+
+// diffServeHTTP compares the network-tier rows of two serve reports: QPS,
+// tail latency, and the shed count (which should stay zero — the load
+// generator sizes admission to its client count).
+func diffServeHTTP(old, new []xqtp.HTTPServeCell) {
+	type key struct {
+		alg     string
+		clients int
+		cache   string
+	}
+	prev := make(map[key]xqtp.HTTPServeCell, len(old))
+	for _, c := range old {
+		prev[key{c.Algorithm, c.Clients, c.ResultCache}] = c
+	}
+	fmt.Printf("\nHTTP serving tier (serve_cells)\n")
+	fmt.Printf("%-6s %-8s %-6s %22s %22s %22s %12s\n",
+		"alg", "clients", "cache", "qps old→new", "p50ms old→new", "p99ms old→new", "shed old→new")
+	for _, c := range new {
+		o, ok := prev[key{c.Algorithm, c.Clients, c.ResultCache}]
+		if !ok {
+			fmt.Printf("%-6s %-8d %-6s (new cell)\n", c.Algorithm, c.Clients, c.ResultCache)
+			continue
+		}
+		fmt.Printf("%-6s %-8d %-6s %9.0f→%-9.0f %s %8.2f→%-8.2f %s %8.2f→%-8.2f %s %4d→%-4d\n",
+			c.Algorithm, c.Clients, c.ResultCache,
+			o.QPS, c.QPS, pct(o.QPS, c.QPS),
+			o.P50Ms, c.P50Ms, pct(o.P50Ms, c.P50Ms),
+			o.P99Ms, c.P99Ms, pct(o.P99Ms, c.P99Ms),
+			o.Shed, c.Shed)
 	}
 }
 
@@ -289,6 +321,11 @@ func main() {
 				}
 			case len(oldR.Results) > 0 && len(newR.Results) > 0:
 				diffServe(oldR.Results, newR.Results)
+				if len(oldR.ServeCells) > 0 || len(newR.ServeCells) > 0 {
+					diffServeHTTP(oldR.ServeCells, newR.ServeCells)
+				}
+			case len(oldR.ServeCells) > 0 && len(newR.ServeCells) > 0:
+				diffServeHTTP(oldR.ServeCells, newR.ServeCells)
 			case len(oldR.IngestCells) > 0 && len(newR.IngestCells) > 0:
 				diffIngest(oldR.IngestCells, newR.IngestCells)
 			case len(oldR.CollectionCells) > 0 && len(newR.CollectionCells) > 0:

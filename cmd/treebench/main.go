@@ -21,13 +21,17 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"syscall"
+	"time"
 
 	"xqtp"
+	"xqtp/internal/server"
 )
 
 func main() {
@@ -38,6 +42,7 @@ func main() {
 		repeats  = flag.Int("repeats", 3, "timed runs per measurement (median reported)")
 		jsonPath = flag.String("json", "", "write the report as JSON to this file (table1 and serve)")
 		cpusFlag = flag.String("cpus", "", "comma-separated GOMAXPROCS settings to measure (serve only, e.g. 1,2,4)")
+		clients  = flag.String("clients", "", "comma-separated HTTP client counts for the serve experiment (default 1,4,16; quick 1,4)")
 		algsFlag = flag.String("algs", "", "comma-separated algorithms for table1/fig6 (nl, sc, twig, auto, stream; default nl,twig,sc)")
 	)
 	flag.Parse()
@@ -94,7 +99,7 @@ func main() {
 	case "sec53":
 		err = xqtp.RunSection53(w, opts)
 	case "serve":
-		err = xqtp.RunServe(w, opts, *jsonPath, cpus)
+		err = runServeWithHTTP(w, opts, *jsonPath, cpus, *clients, *quick)
 	case "ingest":
 		err = xqtp.RunIngest(w, opts, *jsonPath)
 	case "collection":
@@ -118,4 +123,53 @@ func main() {
 		fmt.Fprintln(os.Stderr, "treebench:", err)
 		os.Exit(1)
 	}
+}
+
+// runServeWithHTTP runs the in-process serving sweep, then drives the real
+// HTTP serving tier (internal/server on a loopback listener) with closed-loop
+// clients and merges those cells into the same report before writing JSON.
+func runServeWithHTTP(w io.Writer, opts xqtp.ExperimentOptions, jsonPath string, cpus []int, clientsFlag string, quick bool) error {
+	report, err := xqtp.RunServeReport(w, opts, cpus)
+	if err != nil {
+		return err
+	}
+
+	clientCounts := []int{1, 4, 16}
+	people := 100
+	cellDur := 2 * time.Second
+	if quick {
+		clientCounts = []int{1, 4}
+		people = 25
+		cellDur = 400 * time.Millisecond
+	}
+	if clientsFlag != "" {
+		clientCounts = clientCounts[:0]
+		for _, part := range strings.Split(clientsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 1 {
+				return fmt.Errorf("bad -clients entry %q", part)
+			}
+			clientCounts = append(clientCounts, n)
+		}
+	}
+
+	cells, err := server.RunHTTPLoad(w, server.LoadOptions{
+		Seed:         opts.Seed,
+		People:       people,
+		Clients:      clientCounts,
+		CellDuration: cellDur,
+		Context:      opts.Context,
+	})
+	if err != nil {
+		return err
+	}
+	report.HTTPCells = cells
+	if runtime.NumCPU() == 1 {
+		report.Note += "; serve_cells rows with clients > 1 time-share a single core, so their qps bounds overhead, not scaling"
+	}
+
+	if jsonPath != "" {
+		return report.WriteJSON(w, jsonPath)
+	}
+	return nil
 }

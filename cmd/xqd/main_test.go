@@ -1,0 +1,207 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// buildXqd compiles the xqd binary once per test binary.
+func buildXqd(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "xqd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startXqd launches the daemon on an ephemeral port and waits for its
+// listening line, returning the process and base URL.
+func startXqd(t *testing.T, bin string, extraArgs ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	corpusPath := filepath.Join(t.TempDir(), "doc.xml")
+	xml := `<site><people>` +
+		strings.Repeat(`<person><name>n</name><emailaddress>e</emailaddress></person>`, 50) +
+		`</people></site>`
+	if err := os.WriteFile(corpusPath, []byte(xml), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	args := append([]string{"-addr", "127.0.0.1:0", "-corpus", "main=" + corpusPath}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Scan stdout for the listening line; keep draining afterwards so the
+	// child never blocks on a full pipe.
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			select {
+			case lines <- sc.Text():
+			default:
+			}
+		}
+		close(lines)
+	}()
+	var addr string
+	deadline := time.After(10 * time.Second)
+	for addr == "" {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				cmd.Wait()
+				t.Fatalf("xqd exited before listening; stderr: %s", stderr.String())
+			}
+			if rest, found := strings.CutPrefix(line, "xqd: listening on "); found {
+				addr = strings.TrimSpace(rest)
+			}
+		case <-deadline:
+			cmd.Process.Kill()
+			t.Fatal("xqd never printed its listening line")
+		}
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	return cmd, "http://" + addr, &stderr
+}
+
+// SIGTERM during streaming requests: the daemon drains the in-flight
+// responses, closes its listener, and exits 0.
+func TestXqdSIGTERMGracefulExit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := buildXqd(t)
+	cmd, base, stderr := startXqd(t, bin, "-drain", "5s")
+
+	// Health first, so the mux is known to answer.
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// K concurrent streaming requests; SIGTERM lands while they run.
+	const K = 3
+	var wg sync.WaitGroup
+	bodies := make([][]byte, K)
+	reqErrs := make([]error, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := strings.NewReader(`{"query": "$input//person[emailaddress]/name"}`)
+			resp, err := http.Post(base+"/query", "application/json", body)
+			if err != nil {
+				reqErrs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			bodies[i], reqErrs[i] = io.ReadAll(resp.Body)
+		}(i)
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 0; i < K; i++ {
+		if reqErrs[i] != nil {
+			// Refused because the listener already closed — a valid drain
+			// outcome for a request that raced the signal.
+			continue
+		}
+		if !bytes.Contains(bodies[i], []byte(`"summary"`)) {
+			t.Errorf("request %d response has no summary: %q", i, bodies[i])
+		}
+	}
+
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("xqd exited non-zero: %v\nstderr: %s", err, stderr.String())
+		}
+	case <-time.After(15 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("xqd did not exit after SIGTERM")
+	}
+
+	// The port is released.
+	if _, err := http.Get(base + "/healthz"); err == nil {
+		t.Fatal("xqd still serving after exit")
+	}
+}
+
+// End-to-end over the binary: query, metrics, corpora.
+func TestXqdServesQueryAndMetrics(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess test")
+	}
+	bin := buildXqd(t)
+	cmd, base, stderr := startXqd(t, bin)
+
+	body := strings.NewReader(`{"query": "$input//person/name", "limit": 5}`)
+	resp, err := http.Post(base+"/query", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", resp.StatusCode, data)
+	}
+	if n := bytes.Count(bytes.TrimSpace(data), []byte("\n")); n != 5 {
+		t.Fatalf("expected 5 item lines + summary, got %d newlines in %q", n, data)
+	}
+	if !bytes.Contains(data, []byte(`"status":"limit-reached"`)) {
+		t.Fatalf("summary lacks limit-reached: %q", data)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mdata, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, want := range []string{
+		`xqd_requests_total{outcome="limit_reached"} 1`,
+		"xqd_request_seconds_bucket",
+		"xqd_result_cache_entries",
+	} {
+		if !bytes.Contains(mdata, []byte(want)) {
+			t.Fatalf("metrics missing %q:\n%s", want, mdata)
+		}
+	}
+
+	cmd.Process.Signal(syscall.SIGTERM)
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("exit after SIGTERM: %v\nstderr: %s", err, stderr.String())
+	}
+}

@@ -146,6 +146,13 @@ func internalSources(sources []CorpusSource) []collection.Source {
 // Len returns the number of member documents.
 func (c *Corpus) Len() int { return c.c.Len() }
 
+// Epoch returns the corpus's extension epoch: 0 for a freshly ingested or
+// snapshot-loaded corpus, and one more than the receiver for every Extend
+// result. A result cache keyed by (query, corpus name, epoch) is therefore
+// invalidated exactly when a server swaps in an extended corpus — the epoch
+// is the cheap, monotonic stand-in for "same membership".
+func (c *Corpus) Epoch() uint64 { return c.c.Epoch() }
+
 // URIs returns the member URIs in corpus order.
 func (c *Corpus) URIs() []string {
 	out := make([]string, c.c.Len())

@@ -1,0 +1,57 @@
+package xqtp
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Epoch is 0 for a fresh corpus, bumps by one per Extend, and leaves the
+// receiver untouched — the monotonic counter a (query, corpus name, epoch)
+// result-cache key relies on.
+func TestCorpusEpochBumpsOnExtend(t *testing.T) {
+	src := func(i int) CorpusSource {
+		return CorpusSource{
+			URI:  "mem://epoch-" + string(rune('a'+i)) + ".xml",
+			Data: []byte(`<doc><person><emailaddress/><name>N</name></person></doc>`),
+		}
+	}
+	c, err := LoadCorpus([]CorpusSource{src(0), src(1)}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Epoch(); got != 0 {
+		t.Fatalf("fresh corpus epoch = %d, want 0", got)
+	}
+	c2, err := c.Extend([]CorpusSource{src(2)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c2.Epoch(); got != 1 {
+		t.Fatalf("epoch after one Extend = %d, want 1", got)
+	}
+	if got := c.Epoch(); got != 0 {
+		t.Fatalf("Extend mutated the receiver's epoch: %d, want 0", got)
+	}
+	c3, err := c2.Extend([]CorpusSource{src(3)}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c3.Epoch(); got != 2 {
+		t.Fatalf("epoch after two Extends = %d, want 2", got)
+	}
+
+	// A snapshot round-trip starts a fresh lineage: the loaded corpus is a
+	// new corpus at epoch 0 (the server keys caches on the corpus it serves,
+	// and a newly opened corpus has no cached answers to invalidate).
+	var buf bytes.Buffer
+	if err := c3.SaveSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := OpenCorpusSnapshot(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := loaded.Epoch(); got != 0 {
+		t.Fatalf("snapshot-loaded corpus epoch = %d, want 0", got)
+	}
+}

@@ -62,6 +62,12 @@ type Corpus struct {
 	// corpus resolves indexes without rebuilding them.
 	catalog *xmlstore.Catalog
 	names   *NameTable
+	// epoch counts the Extend steps behind this snapshot: a freshly ingested
+	// or snapshot-loaded corpus is epoch 0, and each Extend returns a corpus
+	// one epoch later. The pair (corpus name, epoch) is what result caches
+	// key on — swapping in an extended corpus changes the epoch, so every
+	// cached answer computed against the old membership stops matching.
+	epoch uint64
 	// roots is the memoized fn:collection() result: every member's document
 	// node in corpus order. Built on first ResolveCollection rather than at
 	// assembly, because gathering the document nodes forces materialization
@@ -188,6 +194,10 @@ func (c *Corpus) Catalog() *xmlstore.Catalog { return c.catalog }
 
 // Names returns the corpus-level name table.
 func (c *Corpus) Names() *NameTable { return c.names }
+
+// Epoch returns the corpus's extension epoch: 0 for a freshly built or
+// loaded corpus, the parent's epoch plus one for an Extend result.
+func (c *Corpus) Epoch() uint64 { return c.epoch }
 
 // ResolveDoc implements xdm.DocResolver: fn:doc($uri).
 func (c *Corpus) ResolveDoc(uri string) (*xdm.Node, error) {

@@ -60,7 +60,12 @@ func (c *Corpus) Extend(sources []Source, workers int) (*Corpus, error) {
 	members := make([]*Doc, 0, len(c.docs)+len(docs))
 	members = append(members, c.docs...)
 	members = append(members, docs...)
-	return assembleWith(members, c.names.extend(docs))
+	grown, err := assembleWith(members, c.names.extend(docs))
+	if err != nil {
+		return nil, err
+	}
+	grown.epoch = c.epoch + 1
+	return grown, nil
 }
 
 func trees(docs []*Doc) []*xdm.Tree {

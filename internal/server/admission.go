@@ -1,0 +1,91 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+)
+
+// errShed reports a request refused by admission control: every worker slot
+// busy and the wait queue full (or the queue wait expired). The handler maps
+// it to 429 + Retry-After.
+var errShed = errors.New("server overloaded")
+
+// admission is the bounded worker pool in front of the engine: at most
+// `slots` requests evaluate concurrently, at most `queue` more wait for a
+// slot, and everything beyond that is refused immediately. Both bounds are
+// channels used as counting semaphores, so the whole structure is two
+// buffered channels and the wait path is a single select — no lock, no list
+// of waiters, nothing that grows with load. That shape is the point:
+// overload cannot queue unboundedly, it converts into fast 429s while the
+// admitted requests keep their latency.
+type admission struct {
+	slots chan struct{} // capacity = concurrent evaluations
+	queue chan struct{} // capacity = waiters allowed behind the slots
+	wait  time.Duration // longest a queued request waits before shedding
+
+	shed atomic.Uint64 // refused requests (full queue or expired wait)
+}
+
+func newAdmission(slots, queue int, wait time.Duration) *admission {
+	return &admission{
+		slots: make(chan struct{}, slots),
+		queue: make(chan struct{}, queue),
+		wait:  wait,
+	}
+}
+
+// acquire claims a worker slot, waiting in the bounded queue when all slots
+// are busy. It returns a release func on success; errShed when the queue is
+// full or the wait expired; the context error when the client gave up while
+// queued.
+func (a *admission) acquire(ctx context.Context) (func(), error) {
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	default:
+	}
+	// All slots busy: take a queue token or shed. The token is held only
+	// while waiting, so len(a.queue) is the live queue depth.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		a.shed.Add(1)
+		return nil, errShed
+	}
+	defer func() { <-a.queue }()
+	timer := time.NewTimer(a.wait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		return a.release, nil
+	case <-timer.C:
+		a.shed.Add(1)
+		return nil, errShed
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+func (a *admission) release() { <-a.slots }
+
+// InFlight returns the number of requests currently holding worker slots.
+func (a *admission) InFlight() int { return len(a.slots) }
+
+// QueueDepth returns the number of requests waiting for a slot.
+func (a *admission) QueueDepth() int { return len(a.queue) }
+
+// Shed returns the number of refused requests.
+func (a *admission) Shed() uint64 { return a.shed.Load() }
+
+// RetryAfter suggests how long a refused client should back off: the queue
+// wait bound rounded up to whole seconds (at least one — Retry-After carries
+// integer seconds).
+func (a *admission) RetryAfter() int {
+	s := int(a.wait / time.Second)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

@@ -1,0 +1,193 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// Admission invariants: slots bound concurrency, the queue bounds waiting,
+// and everything past both sheds immediately — the queue can never grow
+// without bound.
+func TestAdmissionSlotsAndQueue(t *testing.T) {
+	adm := newAdmission(1, 1, time.Second)
+
+	release1, err := adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := adm.InFlight(); got != 1 {
+		t.Fatalf("inflight = %d, want 1", got)
+	}
+
+	// Second caller takes the single queue token and waits for the slot.
+	acquired := make(chan func(), 1)
+	go func() {
+		rel, err := adm.acquire(context.Background())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		acquired <- rel
+	}()
+	waitFor(t, func() bool { return adm.QueueDepth() == 1 })
+
+	// Third caller finds slots and queue full: immediate shed, no waiting.
+	start := time.Now()
+	if _, err := adm.acquire(context.Background()); !errors.Is(err, errShed) {
+		t.Fatalf("third acquire = %v, want errShed", err)
+	}
+	if d := time.Since(start); d > 500*time.Millisecond {
+		t.Fatalf("shed took %v, want immediate", d)
+	}
+	if got := adm.Shed(); got != 1 {
+		t.Fatalf("shed count = %d, want 1", got)
+	}
+
+	// Releasing the slot promotes the queued caller.
+	release1()
+	select {
+	case rel := <-acquired:
+		rel()
+	case <-time.After(2 * time.Second):
+		t.Fatal("queued caller never got the released slot")
+	}
+	if got := adm.InFlight(); got != 0 {
+		t.Fatalf("inflight after releases = %d, want 0", got)
+	}
+}
+
+// A queued request sheds once QueueWait expires without a slot.
+func TestAdmissionQueueWaitExpires(t *testing.T) {
+	adm := newAdmission(1, 1, 30*time.Millisecond)
+	release, err := adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	if _, err := adm.acquire(context.Background()); !errors.Is(err, errShed) {
+		t.Fatalf("queued acquire = %v, want errShed after QueueWait", err)
+	}
+	if got := adm.Shed(); got != 1 {
+		t.Fatalf("shed count = %d, want 1", got)
+	}
+	if got := adm.QueueDepth(); got != 0 {
+		t.Fatalf("queue depth after shed = %d, want 0 (token leaked)", got)
+	}
+}
+
+// A queued caller whose request context ends leaves the queue without
+// counting as shed.
+func TestAdmissionQueueContextCancel(t *testing.T) {
+	adm := newAdmission(1, 1, time.Minute)
+	release, err := adm.acquire(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := adm.acquire(ctx)
+		done <- err
+	}()
+	waitFor(t, func() bool { return adm.QueueDepth() == 1 })
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled acquire = %v, want context.Canceled", err)
+	}
+	if got := adm.Shed(); got != 0 {
+		t.Fatalf("context cancel counted as shed: %d", got)
+	}
+	if got := adm.QueueDepth(); got != 0 {
+		t.Fatalf("queue depth = %d, want 0", got)
+	}
+}
+
+// blockingWriter is a ResponseWriter whose first Write parks until released,
+// pinning its request inside the handler — the deterministic way to hold a
+// worker slot while a second request probes admission.
+type blockingWriter struct {
+	mu      sync.Mutex
+	header  http.Header
+	entered chan struct{} // closed on first Write
+	release chan struct{} // Write returns once closed
+	once    sync.Once
+}
+
+func newBlockingWriter() *blockingWriter {
+	return &blockingWriter{
+		header:  make(http.Header),
+		entered: make(chan struct{}),
+		release: make(chan struct{}),
+	}
+}
+
+func (b *blockingWriter) Header() http.Header {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.header
+}
+func (b *blockingWriter) WriteHeader(int) {}
+func (b *blockingWriter) Write(p []byte) (int, error) {
+	b.once.Do(func() { close(b.entered) })
+	<-b.release
+	return len(p), nil
+}
+
+// Overload sheds: with one worker slot and no queue, a request stalled in
+// its response stream holds the slot, and the next request gets 429 with a
+// Retry-After header instead of waiting unboundedly.
+func TestQuerySheds429UnderLoad(t *testing.T) {
+	s := newTestServer(t, Config{MaxConcurrent: 1, MaxQueue: -1, NoResultCache: true})
+
+	bw := newBlockingWriter()
+	var releaseOnce sync.Once
+	unblock := func() { releaseOnce.Do(func() { close(bw.release) }) }
+	defer unblock()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		req := httptest.NewRequest(http.MethodPost, "/query",
+			strings.NewReader(`{"query": "$input//person/name"}`))
+		s.Handler().ServeHTTP(bw, req)
+	}()
+	<-bw.entered // the first request streams, so it holds the slot
+	if got := s.InFlight(); got != 1 {
+		t.Fatalf("inflight = %d, want 1", got)
+	}
+
+	rec := postQuery(t, s, `{"query": "$input//person/name"}`)
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429 (body %q)", rec.Code, rec.Body.String())
+	}
+	if ra := rec.Header().Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After")
+	}
+
+	unblock()
+	<-done
+	waitFor(t, func() bool { return s.InFlight() == 0 })
+
+	// With the slot free again the same request is admitted.
+	rec = postQuery(t, s, `{"query": "$input//person/name"}`)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("post-release status = %d", rec.Code)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

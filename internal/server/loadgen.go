@@ -1,0 +1,284 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xqtp"
+)
+
+// LoadOptions configures RunHTTPLoad, the closed-loop HTTP serving
+// benchmark behind `treebench -exp serve`.
+type LoadOptions struct {
+	// Seed and People shape the single-member XMark corpus the server loads.
+	Seed   int64
+	People int
+	// Clients are the concurrency levels to sweep (closed loop: each client
+	// has exactly one request outstanding).
+	Clients []int
+	// Algorithms names the algorithms measured with the result cache off.
+	Algorithms []string
+	// CellDuration is the measured window per cell after warmup.
+	CellDuration time.Duration
+	// Context aborts the sweep between cells.
+	Context context.Context
+}
+
+// RunHTTPLoad measures the network serving tier end to end: it starts the
+// real *Server on a loopback listener, then drives it with closed-loop HTTP
+// clients issuing the Fig. 6 child-form XMark queries round-robin as POST
+// /query NDJSON requests. Each cell fixes (algorithm, client count) with the
+// result cache off; one final cell repeats the largest client count with the
+// cache on, bounding what the cache is worth when the working set repeats.
+// Latency percentiles are computed from the sorted per-request samples.
+func RunHTTPLoad(w io.Writer, opts LoadOptions) ([]xqtp.HTTPServeCell, error) {
+	if opts.People <= 0 {
+		opts.People = 100
+	}
+	if len(opts.Clients) == 0 {
+		opts.Clients = []int{1, 4, 16}
+	}
+	if len(opts.Algorithms) == 0 {
+		opts.Algorithms = []string{"sc", "auto"}
+	}
+	if opts.CellDuration <= 0 {
+		opts.CellDuration = 2 * time.Second
+	}
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	doc := xqtp.NewXMarkDocument(opts.Seed, opts.People)
+	corpus, err := xqtp.LoadCorpus([]xqtp.CorpusSource{
+		{URI: "mem://xmark.xml", Data: []byte(doc.XML())},
+	}, 1)
+	if err != nil {
+		return nil, err
+	}
+	defer corpus.Close()
+
+	queries := make([]string, 0, len(xqtp.Figure6Queries))
+	for _, pair := range xqtp.Figure6Queries {
+		queries = append(queries, pair.Child)
+	}
+
+	maxClients := opts.Clients[0]
+	for _, c := range opts.Clients {
+		if c > maxClients {
+			maxClients = c
+		}
+	}
+
+	fmt.Fprintf(w, "\nHTTP serving: %d mixed XMark queries over POST /query (NDJSON), closed loop\n\n", len(queries))
+	fmt.Fprintf(w, "%-6s %-8s %-7s %-9s %-9s %-9s %-9s %-8s %-6s\n",
+		"alg", "clients", "cache", "qps", "p50ms", "p95ms", "p99ms", "reqs", "shed")
+
+	var cells []xqtp.HTTPServeCell
+	emit := func(cell xqtp.HTTPServeCell) {
+		cells = append(cells, cell)
+		fmt.Fprintf(w, "%-6s %-8d %-7s %-9.0f %-9.2f %-9.2f %-9.2f %-8d %-6d\n",
+			cell.Algorithm, cell.Clients, cell.ResultCache, cell.QPS,
+			cell.P50Ms, cell.P95Ms, cell.P99Ms, cell.Requests, cell.Shed)
+	}
+
+	for _, alg := range opts.Algorithms {
+		for _, clients := range opts.Clients {
+			if err := ctx.Err(); err != nil {
+				return cells, err
+			}
+			cell, err := runLoadCell(ctx, corpus, queries, alg, clients, true, opts.CellDuration)
+			if err != nil {
+				return cells, err
+			}
+			emit(cell)
+		}
+	}
+	// The cache-on cell: same workload, so after one warm pass every request
+	// is a cache hit — the ceiling of what epoch-keyed result caching buys.
+	if err := ctx.Err(); err != nil {
+		return cells, err
+	}
+	cell, err := runLoadCell(ctx, corpus, queries, "auto", maxClients, false, opts.CellDuration)
+	if err != nil {
+		return cells, err
+	}
+	emit(cell)
+	return cells, nil
+}
+
+// runLoadCell measures one (algorithm, clients, cache) cell: a fresh server
+// on a loopback listener, closed-loop clients, latencies from every request
+// in the measured window.
+func runLoadCell(ctx context.Context, corpus *xqtp.Corpus, queries []string, alg string, clients int, noCache bool, d time.Duration) (xqtp.HTTPServeCell, error) {
+	cell := xqtp.HTTPServeCell{
+		Algorithm:   alg,
+		Clients:     clients,
+		ResultCache: "on",
+	}
+	if noCache {
+		cell.ResultCache = "off"
+	}
+
+	// A fresh server per cell keeps the cells independent: no carried-over
+	// cache contents or metrics. Admission is sized to the client count so a
+	// closed loop never sheds; shed>0 in a row therefore flags a real bug.
+	s := New(Config{
+		MaxConcurrent: clients,
+		MaxQueue:      clients,
+		NoResultCache: noCache,
+	})
+	s.AddCorpus("xmark", corpus)
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return cell, err
+	}
+	serveDone := make(chan struct{})
+	go func() {
+		defer close(serveDone)
+		s.Serve(ln)
+	}()
+	defer func() {
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		s.Shutdown(shCtx)
+		<-serveDone
+	}()
+
+	url := "http://" + ln.Addr().String() + "/query"
+	transport := &http.Transport{
+		MaxIdleConns:        clients,
+		MaxIdleConnsPerHost: clients,
+	}
+	defer transport.CloseIdleConnections()
+	client := &http.Client{Transport: transport}
+
+	bodies := make([][]byte, len(queries))
+	for i, q := range queries {
+		b, err := json.Marshal(queryRequest{Query: q, Corpus: "xmark", Alg: alg})
+		if err != nil {
+			return cell, err
+		}
+		bodies[i] = b
+	}
+
+	// Warmup: one pass over the workload compiles the plans (and, cache on,
+	// populates the result cache) outside the measured window.
+	for _, b := range bodies {
+		if _, _, err := doLoadRequest(ctx, client, url, b); err != nil {
+			return cell, fmt.Errorf("warmup: %w", err)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		rows      int64
+		firstErr  error
+	)
+	var next atomic.Uint64
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var local []time.Duration
+			var localRows int64
+			for time.Now().Before(deadline) && ctx.Err() == nil {
+				b := bodies[int(next.Add(1))%len(bodies)]
+				start := time.Now()
+				n, _, err := doLoadRequest(ctx, client, url, b)
+				if err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+				local = append(local, time.Since(start))
+				localRows += n
+			}
+			mu.Lock()
+			latencies = append(latencies, local...)
+			rows += localRows
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return cell, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return cell, err
+	}
+	if len(latencies) == 0 {
+		return cell, fmt.Errorf("load cell alg=%s clients=%d: no requests completed", alg, clients)
+	}
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	var total time.Duration
+	for _, l := range latencies {
+		total += l
+	}
+	pct := func(p float64) float64 {
+		i := int(p * float64(len(latencies)-1))
+		return float64(latencies[i]) / float64(time.Millisecond)
+	}
+	cell.Requests = len(latencies)
+	// Closed-loop throughput: clients / mean latency.
+	cell.QPS = float64(clients) * float64(len(latencies)) / total.Seconds()
+	cell.P50Ms = pct(0.50)
+	cell.P95Ms = pct(0.95)
+	cell.P99Ms = pct(0.99)
+	cell.Rows = rows
+	cell.Shed = s.adm.Shed()
+	cs := s.CacheStats()
+	cell.CacheHits = cs.Hits
+	return cell, nil
+}
+
+// doLoadRequest issues one POST /query and drains the NDJSON stream,
+// returning the row count from the summary line.
+func doLoadRequest(ctx context.Context, client *http.Client, url string, body []byte) (rows int64, status string, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return 0, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return 0, "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, "", fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	lines := bytes.Split(bytes.TrimSpace(data), []byte("\n"))
+	last := lines[len(lines)-1]
+	var sum struct {
+		Summary wireSummary `json:"summary"`
+	}
+	if err := json.Unmarshal(last, &sum); err != nil {
+		return 0, "", fmt.Errorf("bad summary line %q: %w", last, err)
+	}
+	if sum.Summary.Status != statusOK && sum.Summary.Status != statusLimit {
+		return 0, sum.Summary.Status, fmt.Errorf("query ended %s: %s", sum.Summary.Status, sum.Summary.Error)
+	}
+	return sum.Summary.Rows, sum.Summary.Status, nil
+}

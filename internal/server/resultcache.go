@@ -1,0 +1,166 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+
+	"xqtp"
+)
+
+// cacheKey identifies one cacheable response: everything that determines the
+// bytes a request streams. The corpus epoch is the invalidation hook — an
+// Extend swap changes the epoch, so every entry computed against the old
+// membership stops matching without any scan or flush. Workers are absent on
+// purpose: the result is identical at any worker count (the corpus-order
+// merge guarantees it), so requests differing only in parallelism share an
+// entry.
+type cacheKey struct {
+	corpus string
+	epoch  uint64
+	query  string
+	alg    string
+	format string
+	rows   int64 // effective row budget (0: unlimited)
+	bytes  int64 // effective byte budget (0: unlimited)
+}
+
+// cacheEntry is one stored response: the rendered item lines (without the
+// summary, which is re-rendered per hit so it can say cached=true) plus the
+// summary fields of the original run.
+type cacheEntry struct {
+	key  cacheKey
+	body []byte
+	info xqtp.RunInfo
+	// status is the original run's terminal status: "ok" or "limit-reached"
+	// (nothing else is cached — a timeout's prefix depends on wall clock, not
+	// on the request, so replaying it would be wrong).
+	status string
+}
+
+// resultCache is a bounded LRU over rendered responses, limited both by
+// entry count and by total stored bytes. Entries larger than the per-entry
+// cap are never stored: one huge result must not evict the whole working set
+// of small hot answers.
+type resultCache struct {
+	mu       sync.Mutex
+	maxN     int
+	maxBytes int64
+	perEntry int64
+	lru      *list.List // front = most recently used; values are *cacheEntry
+	entries  map[cacheKey]*list.Element
+	bytes    int64
+
+	hits, misses, evictions uint64
+}
+
+func newResultCache(maxN int, maxBytes int64) *resultCache {
+	perEntry := maxBytes / 8
+	if perEntry < 1 {
+		perEntry = 1
+	}
+	return &resultCache{
+		maxN:     maxN,
+		maxBytes: maxBytes,
+		perEntry: perEntry,
+		lru:      list.New(),
+		entries:  make(map[cacheKey]*list.Element, min(maxN, 64)),
+	}
+}
+
+// get returns the cached entry for key, marking it most recently used.
+func (rc *resultCache) get(key cacheKey) (*cacheEntry, bool) {
+	if rc == nil {
+		return nil, false
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	el, ok := rc.entries[key]
+	if !ok {
+		rc.misses++
+		return nil, false
+	}
+	rc.hits++
+	rc.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry), true
+}
+
+// put stores a completed response, evicting from the LRU tail until both
+// bounds hold. Oversized bodies are dropped silently.
+func (rc *resultCache) put(e *cacheEntry) {
+	if rc == nil || int64(len(e.body)) > rc.perEntry {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if el, ok := rc.entries[e.key]; ok {
+		// Same key stored twice (concurrent misses): keep the fresher body.
+		rc.bytes += int64(len(e.body)) - int64(len(el.Value.(*cacheEntry).body))
+		el.Value = e
+		rc.lru.MoveToFront(el)
+	} else {
+		rc.entries[e.key] = rc.lru.PushFront(e)
+		rc.bytes += int64(len(e.body))
+	}
+	for rc.lru.Len() > rc.maxN || rc.bytes > rc.maxBytes {
+		oldest := rc.lru.Back()
+		if oldest == nil {
+			break
+		}
+		ev := oldest.Value.(*cacheEntry)
+		rc.lru.Remove(oldest)
+		delete(rc.entries, ev.key)
+		rc.bytes -= int64(len(ev.body))
+		rc.evictions++
+	}
+}
+
+// invalidateCorpus drops every entry of the named corpus. The epoch key
+// already makes stale entries unreachable after an Extend; this proactive
+// sweep just returns their bytes to the budget immediately instead of
+// waiting for LRU aging.
+func (rc *resultCache) invalidateCorpus(name string) {
+	if rc == nil {
+		return
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	for el := rc.lru.Front(); el != nil; {
+		next := el.Next()
+		if e := el.Value.(*cacheEntry); e.key.corpus == name {
+			rc.lru.Remove(el)
+			delete(rc.entries, e.key)
+			rc.bytes -= int64(len(e.body))
+			rc.evictions++
+		}
+		el = next
+	}
+}
+
+// CacheStats is a snapshot of the result cache counters, exported on
+// /metrics next to the plan- and prep-cache stats.
+type CacheStats struct {
+	Entries   int
+	Bytes     int64
+	Capacity  int
+	MaxBytes  int64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+}
+
+func (rc *resultCache) stats() CacheStats {
+	if rc == nil {
+		return CacheStats{}
+	}
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return CacheStats{
+		Entries:   rc.lru.Len(),
+		Bytes:     rc.bytes,
+		Capacity:  rc.maxN,
+		MaxBytes:  rc.maxBytes,
+		Hits:      rc.hits,
+		Misses:    rc.misses,
+		Evictions: rc.evictions,
+	}
+}

@@ -1,0 +1,194 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"xqtp"
+)
+
+// streamer is the execctx.Sink behind a query response: every result item
+// the engine delivers is rendered and written to the client immediately,
+// with a flush per item so results stream as they are found. Because
+// execctx.Deliver charges the row/byte budget per item *before* pushing,
+// the budgets meter exactly what crosses this writer — a limit of K means
+// the client receives K items and a limit-reached summary, never K+1.
+//
+// The streamer also mirrors what it writes into a capture buffer (up to the
+// result cache's per-entry cap) so a completed deterministic response can be
+// stored and replayed byte-for-byte.
+type streamer struct {
+	w      http.ResponseWriter
+	fl     http.Flusher
+	format string // "ndjson" or "xml"
+	corpus *xqtp.Corpus
+	wrote  bool // header (and, for xml, the <results> opener) written
+
+	capture    []byte
+	captureCap int64 // 0: no capturing
+	overflowed bool
+}
+
+func newStreamer(w http.ResponseWriter, format string, corpus *xqtp.Corpus, captureCap int64) *streamer {
+	fl, _ := w.(http.Flusher)
+	return &streamer{w: w, fl: fl, format: format, corpus: corpus, captureCap: captureCap}
+}
+
+// wireItem is one NDJSON result line.
+type wireItem struct {
+	URI   string `json:"uri,omitempty"`
+	Value string `json:"value"`
+}
+
+// begin writes the response header and, for XML, the stream opener. Lazy:
+// the status line commits only when there is something to stream, so
+// pre-stream failures can still use proper HTTP status codes.
+func (st *streamer) begin() {
+	if st.wrote {
+		return
+	}
+	st.wrote = true
+	if st.format == "xml" {
+		st.w.Header().Set("Content-Type", "application/xml; charset=utf-8")
+		st.w.WriteHeader(http.StatusOK)
+		// The opener is not captured: a cache replay goes through begin()
+		// again, which regenerates it.
+		st.w.Write([]byte("<results>\n"))
+	} else {
+		st.w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+		st.w.WriteHeader(http.StatusOK)
+	}
+}
+
+// Push implements execctx.Sink: render one item and flush it to the client.
+func (st *streamer) Push(it xqtp.Item) error {
+	st.begin()
+	uri := ""
+	if st.corpus != nil {
+		uri, _ = st.corpus.URIOf(it)
+	}
+	var line []byte
+	if st.format == "xml" {
+		var b strings.Builder
+		b.WriteString(`<item`)
+		if uri != "" {
+			b.WriteString(` uri="`)
+			xmlEscape(&b, uri)
+			b.WriteString(`"`)
+		}
+		b.WriteString(`>`)
+		if _, isNode := it.(*xqtp.Node); isNode {
+			b.WriteString(xqtp.SerializeItem(it))
+		} else {
+			xmlEscape(&b, xqtp.ItemString(it))
+		}
+		b.WriteString("</item>\n")
+		line = []byte(b.String())
+	} else {
+		data, err := json.Marshal(wireItem{URI: uri, Value: xqtp.SerializeItem(it)})
+		if err != nil {
+			return err
+		}
+		line = append(data, '\n')
+	}
+	if err := st.emit(line); err != nil {
+		return err
+	}
+	st.flush()
+	return nil
+}
+
+// emit writes bytes to the client and mirrors them into the capture buffer
+// while it still fits the cache's per-entry cap.
+func (st *streamer) emit(p []byte) error {
+	if !st.overflowed && st.captureCap > 0 {
+		if int64(len(st.capture)+len(p)) > st.captureCap {
+			st.overflowed = true
+			st.capture = nil
+		} else {
+			st.capture = append(st.capture, p...)
+		}
+	}
+	_, err := st.w.Write(p)
+	return err
+}
+
+// writeRaw replays a cached body (already rendered item lines).
+func (st *streamer) writeRaw(body []byte) {
+	st.begin()
+	if len(body) > 0 {
+		st.w.Write(body)
+	}
+}
+
+// writeSummary terminates the stream: the summary line (NDJSON) or the
+// <summary/> element plus the closing tag (XML). It opens the stream first
+// when nothing was written yet, so even an empty or timed-out-before-output
+// response has the uniform shape.
+func (st *streamer) writeSummary(sum wireSummary) {
+	st.begin()
+	if st.format == "xml" {
+		var b strings.Builder
+		b.WriteString(`<summary status="`)
+		xmlEscape(&b, sum.Status)
+		b.WriteString(`" rows="`)
+		b.WriteString(strconv.FormatInt(sum.Rows, 10))
+		b.WriteString(`" bytes="`)
+		b.WriteString(strconv.FormatInt(sum.Bytes, 10))
+		b.WriteString(`" members="`)
+		b.WriteString(strconv.Itoa(sum.Members))
+		b.WriteString(`" skipped="`)
+		b.WriteString(strconv.Itoa(sum.Skipped))
+		b.WriteString(`" cached="`)
+		b.WriteString(strconv.FormatBool(sum.Cached))
+		b.WriteString(`"`)
+		if sum.Error != "" {
+			b.WriteString(` error="`)
+			xmlEscape(&b, sum.Error)
+			b.WriteString(`"`)
+		}
+		b.WriteString("/>\n</results>\n")
+		st.w.Write([]byte(b.String()))
+	} else {
+		data, err := json.Marshal(map[string]wireSummary{"summary": sum})
+		if err == nil {
+			st.w.Write(append(data, '\n'))
+		}
+	}
+	st.flush()
+}
+
+// captured reports whether the full body fit the capture cap (a zero-item
+// body counts: caching an empty result is exactly as valid).
+func (st *streamer) captured() bool {
+	return st.captureCap > 0 && !st.overflowed
+}
+
+func (st *streamer) flush() {
+	if st.fl != nil {
+		st.fl.Flush()
+	}
+}
+
+// xmlEscape writes s with the five XML special characters escaped (attribute
+// and text context).
+func xmlEscape(b *strings.Builder, s string) {
+	for _, r := range s {
+		switch r {
+		case '&':
+			b.WriteString("&amp;")
+		case '<':
+			b.WriteString("&lt;")
+		case '>':
+			b.WriteString("&gt;")
+		case '"':
+			b.WriteString("&quot;")
+		case '\'':
+			b.WriteString("&apos;")
+		default:
+			b.WriteRune(r)
+		}
+	}
+}

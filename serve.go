@@ -25,6 +25,25 @@ type ServeResult struct {
 	Speedup float64 `json:"speedup_vs_serial"`
 }
 
+// HTTPServeCell is one measurement of the HTTP serving experiment: a fixed
+// number of closed-loop clients issuing the mixed XMark workload as POST
+// /query requests against the network serving tier (admission control,
+// streamed NDJSON, optional result cache). Latency percentiles come from the
+// sorted per-request samples, not a histogram.
+type HTTPServeCell struct {
+	Algorithm   string  `json:"algorithm"`
+	Clients     int     `json:"clients"`
+	ResultCache string  `json:"result_cache"` // "off" or "on"
+	Requests    int     `json:"requests"`
+	QPS         float64 `json:"qps"`
+	P50Ms       float64 `json:"p50_ms"`
+	P95Ms       float64 `json:"p95_ms"`
+	P99Ms       float64 `json:"p99_ms"`
+	Rows        int64   `json:"rows"`
+	Shed        uint64  `json:"shed"`
+	CacheHits   uint64  `json:"cache_hits"`
+}
+
 // ServeReport is the machine-readable output of RunServe.
 type ServeReport struct {
 	People        int      `json:"xmark_people"`
@@ -37,6 +56,22 @@ type ServeReport struct {
 	// so speedup_vs_serial reflects scheduling overhead, not parallelism).
 	Note    string        `json:"note"`
 	Results []ServeResult `json:"results"`
+	// HTTPCells are the network-tier rows (treebench -exp serve drives the
+	// HTTP server after the in-process sweep and merges its cells here).
+	HTTPCells []HTTPServeCell `json:"serve_cells,omitempty"`
+}
+
+// WriteJSON writes the report to path as indented JSON.
+func (r *ServeReport) WriteJSON(w io.Writer, path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n(report written to %s)\n", path)
+	return nil
 }
 
 // serveQueries is the mixed workload: the Fig. 6 XMark paths in child form,
@@ -87,10 +122,24 @@ func benchServe(doc *Document, queries []*Query, alg Algorithm, procs int) (test
 // processor and, when more are available, every processor). If jsonPath is
 // non-empty the report is also written there as JSON.
 func RunServe(w io.Writer, opts ExperimentOptions, jsonPath string, cpus []int) error {
+	report, err := RunServeReport(w, opts, cpus)
+	if err != nil {
+		return err
+	}
+	if jsonPath != "" {
+		return report.WriteJSON(w, jsonPath)
+	}
+	return nil
+}
+
+// RunServeReport is RunServe without the JSON write: it returns the report
+// so a caller (cmd/treebench) can append the HTTP serving cells before
+// serializing.
+func RunServeReport(w io.Writer, opts ExperimentOptions, cpus []int) (*ServeReport, error) {
 	doc := NewXMarkDocument(opts.Seed, opts.Fig6People)
 	queries, srcs, err := serveQueries()
 	if err != nil {
-		return err
+		return nil, err
 	}
 	maxProcs := runtime.GOMAXPROCS(0)
 	procsList := []int{1}
@@ -105,7 +154,7 @@ func RunServe(w io.Writer, opts ExperimentOptions, jsonPath string, cpus []int) 
 			}
 		}
 		if len(procsList) == 0 {
-			return fmt.Errorf("serve: no usable cpu count in %v", cpus)
+			return nil, fmt.Errorf("serve: no usable cpu count in %v", cpus)
 		}
 	}
 	note := fmt.Sprintf("measured with %d CPU(s) available", runtime.NumCPU())
@@ -130,17 +179,17 @@ func RunServe(w io.Writer, opts ExperimentOptions, jsonPath string, cpus []int) 
 		// steady serving state: slot-addressed plans, one field store per run.
 		for _, q := range queries {
 			if _, err := q.Run(doc, alg); err != nil {
-				return err
+				return nil, err
 			}
 		}
 		var serial float64
 		for _, procs := range procsList {
 			if err := opts.checkpoint(); err != nil {
-				return err
+				return nil, err
 			}
 			res, err := benchServe(doc, queries, alg, procs)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			ns := float64(res.NsPerOp())
 			if res.N > 0 && ns == 0 {
@@ -165,15 +214,5 @@ func RunServe(w io.Writer, opts ExperimentOptions, jsonPath string, cpus []int) 
 				r.Algorithm, r.Procs, r.NsPerOp, r.QPS, r.BytesPerOp, r.AllocsPerOp, r.Speedup)
 		}
 	}
-	if jsonPath != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			return err
-		}
-		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "\n(report written to %s)\n", jsonPath)
-	}
-	return nil
+	return &report, nil
 }
